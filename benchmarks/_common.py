@@ -1,0 +1,84 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper at a reduced
+scale (see DESIGN.md's per-experiment index).  Datasets and trained
+approaches are cached per session so benches share work.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_SIZE``   — entities per dataset (default 300)
+* ``REPRO_BENCH_EPOCHS`` — training epochs (default 40)
+* ``REPRO_BENCH_DIM``    — embedding dimension (default 32)
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from functools import lru_cache
+from pathlib import Path
+
+from repro import benchmark_pair
+from repro.approaches import ApproachConfig, EmbeddingApproach, get_approach
+from repro.kg import AlignmentSplit, KGPair
+
+BENCH_SIZE = int(os.environ.get("REPRO_BENCH_SIZE", "300"))
+BENCH_EPOCHS = int(os.environ.get("REPRO_BENCH_EPOCHS", "40"))
+BENCH_DIM = int(os.environ.get("REPRO_BENCH_DIM", "32"))
+
+REPORT_DIR = Path(__file__).parent / "reports"
+
+APPROACH_ORDER = [
+    "MTransE", "IPTransE", "JAPE", "KDCoE", "BootEA", "GCNAlign",
+    "AttrE", "IMUSE", "SEA", "RSN4EA", "MultiKE", "RDGCN",
+]
+
+FAMILY_ORDER = ["EN-FR", "EN-DE", "D-W", "D-Y"]
+
+
+def report(title: str, lines: list[str], filename: str) -> None:
+    """Print a table to the real stdout (visible under pytest capture)
+    and persist it under ``benchmarks/reports/``."""
+    text = "\n".join([f"== {title} ==", *lines, ""])
+    sys.__stdout__.write(text + "\n")
+    sys.__stdout__.flush()
+    REPORT_DIR.mkdir(exist_ok=True)
+    (REPORT_DIR / filename).write_text(text, encoding="utf-8")
+
+
+def make_config(**overrides) -> ApproachConfig:
+    """The Table 4-style common hyper-parameters at bench scale."""
+    defaults = dict(dim=BENCH_DIM, epochs=BENCH_EPOCHS, lr=0.05,
+                    batch_size=1024, n_negatives=5, valid_every=10)
+    defaults.update(overrides)
+    return ApproachConfig(**defaults)
+
+
+@lru_cache(maxsize=None)
+def dataset(family: str, version: str = "V1", size: int | None = None) -> KGPair:
+    """One benchmark dataset per (family, version), via the full pipeline."""
+    return benchmark_pair(
+        family, size=size or BENCH_SIZE, version=version, seed=0,
+        method="ids",
+    )
+
+
+@lru_cache(maxsize=None)
+def fold(family: str, version: str = "V1") -> AlignmentSplit:
+    """First of the five folds (benches default to one fold for speed)."""
+    return dataset(family, version).five_fold_splits(seed=0)[0]
+
+
+@lru_cache(maxsize=None)
+def trained(name: str, family: str, version: str = "V1") -> EmbeddingApproach:
+    """A trained approach, cached so benches share the heavy lifting."""
+    approach = get_approach(name, make_config())
+    approach.fit(dataset(family, version), fold(family, version))
+    return approach
+
+
+def hits1(approach: EmbeddingApproach, family: str, version: str = "V1",
+          **kwargs) -> float:
+    return approach.evaluate(
+        fold(family, version).test, hits_at=(1,), **kwargs
+    ).hits_at(1)

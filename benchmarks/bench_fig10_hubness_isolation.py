@@ -1,0 +1,38 @@
+"""Figure 10: hubness and isolation of nearest neighbors on D-Y V1."""
+
+from repro.analysis import hubness_isolation
+
+from _common import APPROACH_ORDER, fold, report, trained
+
+
+def bench_fig10_hubness_isolation(benchmark):
+    def run():
+        split = fold("D-Y", "V1")
+        sources = [a for a, _ in split.test]
+        targets = [b for _, b in split.test]
+        out = {}
+        for name in APPROACH_ORDER:
+            approach = trained(name, "D-Y", "V1")
+            similarity = approach.similarity_between(sources, targets, metric="cosine")
+            out[name] = hubness_isolation(similarity)
+        return out
+
+    proportions = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [f"{'approach':9s} {'0':>7s} {'1':>7s} {'[2,4]':>7s} {'>=5':>7s}"]
+    for name in APPROACH_ORDER:
+        p = proportions[name]
+        rows.append(
+            f"{name:9s} {p['0']:7.1%} {p['1']:7.1%} {p['[2,4]']:7.1%} {p['>=5']:7.1%}"
+        )
+    rows.append("")
+    rows.append("paper: a large share of targets NEVER appear as a top-1 neighbor")
+    rows.append("(isolation); approaches with fewer isolated+hub entities, e.g.")
+    rows.append("MultiKE and RDGCN, achieve the leading Hits@1")
+    report("Figure 10 - hubness & isolation (D-Y V1)", rows, "fig10.txt")
+
+    for name in APPROACH_ORDER:
+        assert proportions[name]["0"] > 0.0, "isolation should exist"
+    top = min(proportions[n]["0"] for n in ("MultiKE", "RDGCN"))
+    weak = max(proportions[n]["0"] for n in ("MTransE", "IPTransE"))
+    assert top < weak, "leading approaches should isolate fewer targets"

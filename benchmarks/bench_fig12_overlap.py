@@ -1,0 +1,41 @@
+"""Figure 12: overlap of correct alignment found by LogMap, PARIS and
+the best embedding approach (EN-FR V1)."""
+
+from repro.analysis import prediction_overlap
+from repro.conventional import LogMap, Paris
+
+from _common import dataset, fold, report, trained
+
+
+def bench_fig12_overlap(benchmark):
+    def run():
+        pair = dataset("EN-FR", "V1")
+        split = fold("EN-FR", "V1")
+        test_gold = set(split.test)
+        correct = {
+            "LogMap": set(LogMap().align(pair).alignment) & test_gold,
+            "PARIS": set(Paris().align(pair).alignment) & test_gold,
+        }
+        approach = trained("RDGCN", "EN-FR", "V1")
+        correct["OpenEA"] = set(approach.predict(split.test)) & test_gold
+        return prediction_overlap(correct, test_gold), correct
+
+    overlap, correct = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [f"{'region':30s} {'share':>7s}"]
+    for region, share in sorted(overlap.items(), key=lambda kv: -kv[1]):
+        label = " & ".join(sorted(region)) if region else "none"
+        rows.append(f"{label:30s} {share:7.1%}")
+    rows.append("")
+    rows.append("paper (EN-FR-100K V1): 46.6% found by all three; 6.4% by none;")
+    rows.append("OpenEA finds 13.25% that LogMap misses and 7.51% PARIS misses —")
+    rows.append("the systems are complementary (motivates hybrid alignment)")
+    report("Figure 12 - prediction overlap", rows, "fig12.txt")
+
+    # complementarity: each system finds something the others miss
+    exclusive_openea = overlap[frozenset({"OpenEA"})]
+    exclusive_paris = overlap[frozenset({"PARIS"})]
+    assert exclusive_openea + overlap[frozenset({"OpenEA", "LogMap"})] > 0.0
+    assert exclusive_paris >= 0.0
+    assert sum(overlap.values()) > 0.999
+    del correct

@@ -1,0 +1,46 @@
+"""Figure 2: degree distributions of legacy-style datasets vs ours.
+
+The paper shows DBP15K/WK3L are much denser than their source KG, while
+the IDS-sampled dataset matches it.  We regenerate the comparison with a
+degree-biased sample standing in for the legacy datasets.
+"""
+
+from repro.kg import degree_distribution, js_divergence
+from repro.sampling import degree_biased_sample, ids_sample
+
+from _common import BENCH_SIZE, report
+
+
+def bench_fig2_degree_distributions(benchmark):
+    from repro.datagen import source_pair
+
+    def run():
+        source = source_pair("EN-FR", n_entities=int(BENCH_SIZE * 2.5), seed=0)
+        n = BENCH_SIZE
+        legacy = degree_biased_sample(source, n, bias=2.0, seed=0)
+        ours = ids_sample(source, n, seed=0)
+        return source, legacy, ours
+
+    source, legacy, ours = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    reference = degree_distribution(source.kg1)
+    rows = [
+        f"{'KG':22s} {'#rel triples':>12s} {'#entities':>10s} {'avg deg':>8s} {'JS':>7s}",
+    ]
+    for label, pair in (
+        ("source (DBpedia-like)", source),
+        ("legacy-style (biased)", legacy),
+        ("ours (IDS)", ours),
+    ):
+        js = js_divergence(reference, degree_distribution(pair.kg1))
+        rows.append(
+            f"{label:22s} {len(pair.kg1.relation_triples):12d} "
+            f"{pair.kg1.num_entities:10d} {pair.kg1.average_degree():8.2f} {js:7.1%}"
+        )
+    rows.append("")
+    rows.append("paper: DBpedia(EN) deg 6.93 | DBP15K 13.49, WK3L 22.77 (biased)")
+    rows.append("       EN-FR-15K(V1) 6.31 (IDS matches the source)")
+    rows.append("expected shape: biased sample much denser than source; IDS close, low JS")
+    report("Figure 2 - degree distributions", rows, "fig2.txt")
+
+    assert legacy.kg1.average_degree() > 1.3 * ours.kg1.average_degree()

@@ -1,0 +1,45 @@
+"""Figure 3: IDS sample degree distributions vs the source KG."""
+
+from repro.datagen import source_pair
+from repro.kg import degree_distribution, js_divergence
+from repro.sampling import ids_sample
+
+from _common import BENCH_SIZE, report
+
+
+def bench_fig3_ids_fidelity(benchmark):
+    def run():
+        out = {}
+        for version in ("V1", "V2"):
+            source = source_pair(
+                "EN-FR", n_entities=int(BENCH_SIZE * 2.2), version=version, seed=0
+            )
+            small = ids_sample(source, BENCH_SIZE, seed=0)
+            large = ids_sample(source, int(BENCH_SIZE * 1.5), seed=0)
+            out[version] = (source, small, large)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [f"{'dataset':24s} {'#entities':>10s} {'deg':>6s} {'JS':>7s}"]
+    for version, (source, small, large) in out.items():
+        reference = degree_distribution(source.kg1)
+        rows.append(
+            f"source {version:18s} {source.kg1.num_entities:10d} "
+            f"{source.kg1.average_degree():6.2f} {'—':>7s}"
+        )
+        for label, pair in ((f"sample small {version}", small),
+                            (f"sample large {version}", large)):
+            js = js_divergence(reference, degree_distribution(pair.kg1))
+            rows.append(
+                f"{label:24s} {pair.kg1.num_entities:10d} "
+                f"{pair.kg1.average_degree():6.2f} {js:7.1%}"
+            )
+    rows.append("")
+    rows.append("paper: 15K/100K samples keep JS <= 5% of the source (Fig. 3)")
+    report("Figure 3 - IDS fidelity", rows, "fig3.txt")
+
+    for version, (source, small, large) in out.items():
+        reference = degree_distribution(source.kg1)
+        assert js_divergence(reference, degree_distribution(small.kg1)) < 0.10
+        assert js_divergence(reference, degree_distribution(large.kg1)) < 0.10

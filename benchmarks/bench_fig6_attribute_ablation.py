@@ -1,0 +1,52 @@
+"""Figure 6: Hits@1 of attribute-using approaches with vs without
+attribute embedding (D-W and D-Y, V1)."""
+
+from repro.approaches import get_approach
+
+from _common import make_config, dataset, fold, report, trained
+
+PROBES = ["JAPE", "GCNAlign", "KDCoE", "AttrE", "IMUSE", "MultiKE", "RDGCN"]
+
+
+def bench_fig6_attribute_ablation(benchmark):
+    def run():
+        out = {}
+        for family in ("D-W", "D-Y"):
+            split = fold(family, "V1")
+            for name in PROBES:
+                with_attr = trained(name, family, "V1")
+                without = get_approach(name, make_config(use_attributes=False))
+                without.fit(dataset(family, "V1"), split)
+                out[(name, family)] = (
+                    with_attr.evaluate(split.test, hits_at=(1,)).hits_at(1),
+                    without.evaluate(split.test, hits_at=(1,)).hits_at(1),
+                )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for family in ("D-W", "D-Y"):
+        rows.append(f"--- {family} (V1) ---")
+        rows.append(f"{'approach':9s} {'w/ attr':>8s} {'w/o attr':>9s} {'delta':>7s}")
+        for name in PROBES:
+            with_attr, without = results[(name, family)]
+            rows.append(
+                f"{name:9s} {with_attr:8.3f} {without:9.3f} "
+                f"{with_attr - without:+7.3f}"
+            )
+    rows.append("")
+    rows.append("paper: literal embedding (KDCoE/AttrE/MultiKE/RDGCN) brings large")
+    rows.append("gains on D-Y; attribute *correlations* (JAPE/GCNAlign) bring little;")
+    rows.append("on D-W the symbolic heterogeneity (numeric IDs) erases most gains")
+    report("Figure 6 - attribute ablation", rows, "fig6.txt")
+
+    # literal-based approaches gain clearly on D-Y
+    literal_gains = [
+        results[(name, "D-Y")][0] - results[(name, "D-Y")][1]
+        for name in ("AttrE", "MultiKE", "RDGCN")
+    ]
+    assert sum(gain > 0 for gain in literal_gains) >= 2
+    # attribute-correlation approaches gain much less than literal ones
+    jape_gain = results[("JAPE", "D-Y")][0] - results[("JAPE", "D-Y")][1]
+    assert jape_gain < max(literal_gains)

@@ -1,0 +1,27 @@
+"""Figure 8: training time comparison of the 12 approaches (V1)."""
+
+from _common import APPROACH_ORDER, report, trained
+
+
+def bench_fig8_running_time(benchmark):
+    def run():
+        return {
+            name: trained(name, "EN-FR", "V1").log.train_seconds
+            for name in APPROACH_ORDER
+        }
+
+    seconds = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [f"{'approach':9s} {'train s':>8s}  bar"]
+    peak = max(seconds.values())
+    for name in APPROACH_ORDER:
+        bar = "#" * max(1, int(40 * seconds[name] / peak))
+        rows.append(f"{name:9s} {seconds[name]:8.2f}  {bar}")
+    rows.append("")
+    rows.append("paper: BootEA and RSN4EA are the slowest (truncated sampling +")
+    rows.append("bootstrapping; multi-hop paths); MTransE and GCNAlign the fastest")
+    report("Figure 8 - running time (EN-FR V1)", rows, "fig8.txt")
+
+    cheap = min(seconds["MTransE"], seconds["GCNAlign"])
+    assert seconds["RSN4EA"] > cheap, "path-based training should cost more"
+    assert seconds["BootEA"] > seconds["MTransE"]

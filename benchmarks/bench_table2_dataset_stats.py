@@ -1,0 +1,42 @@
+"""Table 2: statistics of the generated datasets (4 families x V1/V2)."""
+
+from repro.kg import dataset_summary
+
+from _common import FAMILY_ORDER, dataset, report
+
+
+def bench_table2_dataset_stats(benchmark):
+    def run():
+        stats = {}
+        for family in FAMILY_ORDER:
+            for version in ("V1", "V2"):
+                pair = dataset(family, version)
+                stats[(family, version)] = (
+                    dataset_summary(pair.kg1), dataset_summary(pair.kg2)
+                )
+        return stats
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        f"{'dataset':14s} {'KG':4s} {'#rel':>5s} {'#attr':>6s} "
+        f"{'#rel tr.':>9s} {'#attr tr.':>10s} {'deg':>6s}"
+    ]
+    for (family, version), (summary1, summary2) in stats.items():
+        for side, summary in (("KG1", summary1), ("KG2", summary2)):
+            rows.append(
+                f"{family + '-' + version:14s} {side:4s} "
+                f"{summary['relations']:5.0f} {summary['attributes']:6.0f} "
+                f"{summary['rel_triples']:9.0f} {summary['attr_triples']:10.0f} "
+                f"{summary['avg_degree']:6.2f}"
+            )
+    rows.append("")
+    rows.append("expected shape (paper Table 2): V2 roughly twice as dense as V1;")
+    rows.append("D-Y KG2 (YAGO) has far fewer relations than KG1; D-W KG2 uses P-IDs")
+    report("Table 2 - dataset statistics", rows, "table2.txt")
+
+    for family in FAMILY_ORDER:
+        v1 = stats[(family, "V1")][0]["avg_degree"]
+        v2 = stats[(family, "V2")][0]["avg_degree"]
+        assert v2 > 1.4 * v1, f"{family}: V2 should be ~2x denser"
+    assert stats[("D-Y", "V1")][1]["relations"] < stats[("D-Y", "V1")][0]["relations"]

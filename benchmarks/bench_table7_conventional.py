@@ -1,0 +1,68 @@
+"""Table 7: LogMap / PARIS / best OpenEA approach, P/R/F1, V1 families."""
+
+from repro.alignment import prf_metrics
+from repro.conventional import LogMap, Paris
+
+from _common import FAMILY_ORDER, dataset, fold, report, trained
+
+BEST_OPENEA = {"EN-FR": "RDGCN", "EN-DE": "RDGCN", "D-W": "BootEA", "D-Y": "RDGCN"}
+
+PAPER_F1 = {  # V1 15K: (LogMap, PARIS, best OpenEA)
+    "EN-FR": (.771, .903, .755),
+    "EN-DE": (.813, .935, .830),
+    "D-W": (None, .734, .572),
+    "D-Y": (.957, .884, .931),
+}
+
+
+def bench_table7_conventional(benchmark):
+    def run():
+        out = {}
+        for family in FAMILY_ORDER:
+            pair = dataset(family, "V1")
+            gold = set(pair.alignment)
+            logmap = prf_metrics(LogMap().align(pair).alignment, gold)
+            paris = prf_metrics(Paris().align(pair).alignment, gold)
+            approach = trained(BEST_OPENEA[family], family, "V1")
+            split = fold(family, "V1")
+            hits1 = approach.evaluate(split.test, hits_at=(1,)).hits_at(1)
+            out[family] = (logmap, paris, hits1)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [f"{'dataset':8s} {'system':18s} {'P':>6s} {'R':>6s} {'F1':>6s}  {'paper F1':>8s}"]
+    for family in FAMILY_ORDER:
+        logmap, paris, hits1 = results[family]
+        p_log, p_par, p_oea = PAPER_F1[family]
+        rows.append(
+            f"{family:8s} {'LogMap':18s} {logmap.precision:6.3f} "
+            f"{logmap.recall:6.3f} {logmap.f1:6.3f}  "
+            f"{p_log if p_log is not None else float('nan'):8.3f}"
+        )
+        rows.append(
+            f"{family:8s} {'PARIS':18s} {paris.precision:6.3f} "
+            f"{paris.recall:6.3f} {paris.f1:6.3f}  {p_par:8.3f}"
+        )
+        best = BEST_OPENEA[family]
+        rows.append(
+            f"{family:8s} {'OpenEA (' + best + ')':18s} {hits1:6.3f} "
+            f"{hits1:6.3f} {hits1:6.3f}  {p_oea:8.3f}"
+        )
+    rows.append("")
+    rows.append("expected shape: PARIS leads on most families; LogMap outputs")
+    rows.append("nothing on D-W (numeric schema); embedding approaches show no")
+    rows.append("clear superiority over the conventional systems (paper §6.3)")
+    report("Table 7 - conventional vs embedding", rows, "table7.txt")
+
+    # LogMap fails on D-W
+    assert results["D-W"][0].f1 == 0.0
+    # PARIS is competitive everywhere it runs (D-W is its hardest family)
+    for family in FAMILY_ORDER:
+        assert results[family][1].f1 > 0.45
+    # conventional not dominated by embeddings (paper's headline)
+    wins = sum(
+        1 for family in FAMILY_ORDER
+        if results[family][1].f1 >= results[family][2]
+    )
+    assert wins >= 3, "PARIS should match or beat OpenEA on most families"

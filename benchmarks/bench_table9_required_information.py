@@ -1,0 +1,23 @@
+"""Table 9: required input information of every system (capability matrix)."""
+
+from repro.approaches import APPROACHES, REQUIRED_INFORMATION, required_information_table
+
+from _common import report
+
+
+def bench_table9_required_information(benchmark):
+    def run():
+        return required_information_table()
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("Table 9 - required information", table.splitlines(), "table9.txt")
+
+    # matrix covers the 12 approaches + the 2 conventional systems
+    assert set(REQUIRED_INFORMATION) == set(APPROACHES) | {"LogMap", "PARIS"}
+    # Table 9 facts: all embedding approaches need pre-aligned entities,
+    # the conventional ones do not
+    for name in APPROACHES:
+        assert REQUIRED_INFORMATION[name]["prealigned"].startswith("*")
+    for name in ("LogMap", "PARIS"):
+        assert REQUIRED_INFORMATION[name]["prealigned"].strip(" /") == ""
+        assert "*" in REQUIRED_INFORMATION[name]["triples"]  # attribute triples

@@ -1,0 +1,41 @@
+"""Cross-lingual entity alignment (EN-DE) with literal-aware approaches.
+
+Trains RDGCN and MultiKE — the two literal-driven leaders of Table 5 —
+on an English-German dataset, then inspects a few predictions together
+with the literal evidence behind them.
+
+Run:  python examples/cross_lingual_alignment.py
+"""
+
+from repro import ApproachConfig, benchmark_pair, get_approach
+
+
+def main() -> None:
+    pair = benchmark_pair("EN-DE", size=350, version="V1", seed=1)
+    split = pair.five_fold_splits(seed=1)[0]
+    print(f"dataset: {pair} (languages: {pair.metadata['lang1']}"
+          f" vs {pair.metadata['lang2']})")
+
+    config = ApproachConfig(dim=32, epochs=40, lr=0.05)
+    for name in ("RDGCN", "MultiKE"):
+        approach = get_approach(name, config)
+        approach.fit(pair, split)
+        metrics = approach.evaluate(split.test, hits_at=(1, 5))
+        print(f"{name:8s}: {metrics}")
+
+    # Inspect predictions of the last approach with their literal evidence.
+    predictions = approach.predict(split.test[:5])
+    attrs1 = pair.kg1.entity_attributes()
+    attrs2 = pair.kg2.entity_attributes()
+    print("\nsample predictions (with one literal each):")
+    gold = dict(split.test)
+    for source, target in predictions:
+        verdict = "correct" if gold.get(source) == target else "WRONG"
+        lit1 = attrs1.get(source, [("-", "-")])[0][1]
+        lit2 = attrs2.get(target, [("-", "-")])[0][1]
+        print(f"  {source} -> {target}  [{verdict}]")
+        print(f"    EN literal: {lit1!r}   DE literal: {lit2!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Dataset generation: IDS vs the RAS/PRS baselines, and OpenEA-format I/O.
+
+Reproduces the workflow of the paper's §3: build source KGs, sample them
+down with each algorithm, and compare sample fidelity (Table 3's
+metrics).  The resulting dataset is saved in the OpenEA directory layout
+so it can be consumed by other tooling.
+
+Run:  python examples/dataset_sampling.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import ids_sample, prs_sample, ras_sample, source_pair
+from repro.kg import (
+    clustering_coefficient,
+    degree_distribution,
+    isolated_entity_ratio,
+    js_divergence,
+    load_pair,
+    save_pair,
+    save_splits,
+)
+
+
+def describe(name, sample, reference_dist):
+    js = js_divergence(reference_dist, degree_distribution(sample.kg1))
+    print(
+        f"  {name:4s} | deg={sample.kg1.average_degree():5.2f} "
+        f"JS={js:6.1%} isolates={isolated_entity_ratio(sample.kg1):6.1%} "
+        f"clustering={clustering_coefficient(sample.kg1):.3f}"
+    )
+
+
+def main() -> None:
+    # Source KG pair (stands in for DBpedia EN-FR; see DESIGN.md).
+    source = source_pair("EN-FR", n_entities=1500, version="V1", seed=0)
+    reference = degree_distribution(source.kg1)
+    print(f"source: {source}, avg degree {source.kg1.average_degree():.2f}")
+
+    print("sampling 400 aligned entities with each algorithm:")
+    ids = ids_sample(source, 400, seed=0)
+    describe("IDS", ids, reference)
+    describe("RAS", ras_sample(source, 400, seed=0), reference)
+    describe("PRS", prs_sample(source, 400, seed=0), reference)
+    print("(IDS keeps the degree distribution; the baselines shred it)")
+
+    # Persist the IDS dataset in the OpenEA directory layout.
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = Path(tmp) / "EN_FR_400_V1"
+        save_pair(ids, directory)
+        save_splits(ids.five_fold_splits(seed=0), directory)
+        reloaded = load_pair(directory)
+        print(f"saved + reloaded: {reloaded}")
+        print(f"files: {sorted(p.name for p in directory.iterdir())}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""OpenEA reproduction: embedding-based entity alignment benchmarking.
+
+Reproduces "A Benchmarking Study of Embedding-based Entity Alignment for
+Knowledge Graphs" (Sun et al., VLDB 2020): the benchmark dataset
+generator (IDS sampling), 12 alignment approaches, 11 KG embedding
+models, conventional baselines (PARIS, LogMap-style) and the paper's
+analysis toolkit -- in pure Python on numpy/scipy/networkx.
+
+Quickstart::
+
+    from repro import benchmark_pair, get_approach, ApproachConfig
+    pair = benchmark_pair("EN-FR", size=600)
+    split = pair.five_fold_splits(seed=0)[0]
+    approach = get_approach("BootEA", ApproachConfig(epochs=40))
+    approach.fit(pair, split)
+    print(approach.evaluate(split.test))
+"""
+
+from .alignment import csls, prf_metrics, rank_metrics, similarity_matrix
+from .approaches import APPROACHES, ApproachConfig, get_approach
+from .conventional import LogMap, Paris
+from .datagen import FAMILIES, benchmark_pair, source_pair
+from .kg import KGPair, KnowledgeGraph, load_pair, save_pair
+from .pipeline import cross_validate
+from .sampling import ids_sample, pagerank, prs_sample, ras_sample
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "KnowledgeGraph", "KGPair", "load_pair", "save_pair",
+    "benchmark_pair", "source_pair", "FAMILIES",
+    "ids_sample", "ras_sample", "prs_sample", "pagerank",
+    "APPROACHES", "get_approach", "ApproachConfig",
+    "Paris", "LogMap",
+    "cross_validate",
+    "similarity_matrix", "csls", "rank_metrics", "prf_metrics",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Alignment module: distance metrics, inference strategies, evaluation."""
+
+from .blocking import HyperplaneLSH, blocked_greedy_alignment
+from .streaming import streaming_greedy_alignment, topk_similarity
+from .evaluate import PRF, RankMetrics, prf_metrics, rank_metrics
+from .inference import (
+    INFERENCE_STRATEGIES,
+    greedy_alignment,
+    heuristic_matching,
+    hungarian_alignment,
+    infer_alignment,
+    stable_marriage,
+)
+from .metrics import (
+    METRICS,
+    cosine_similarity,
+    csls,
+    euclidean_similarity,
+    manhattan_similarity,
+    similarity_matrix,
+)
+
+__all__ = [
+    "cosine_similarity", "euclidean_similarity", "manhattan_similarity",
+    "similarity_matrix", "csls", "METRICS",
+    "greedy_alignment", "stable_marriage", "hungarian_alignment",
+    "heuristic_matching", "infer_alignment", "INFERENCE_STRATEGIES",
+    "rank_metrics", "RankMetrics", "prf_metrics", "PRF",
+    "HyperplaneLSH", "blocked_greedy_alignment",
+    "topk_similarity", "streaming_greedy_alignment",
+]

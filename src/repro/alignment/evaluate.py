@@ -1,0 +1,101 @@
+"""Evaluation metrics: Hits@m, MR, MRR and precision/recall/F1 (§2.1.3).
+
+Rank metrics assume the standard left-to-right protocol: each test source
+entity ranks all candidate target entities; the gold target's rank drives
+Hits@m / MR / MRR.  Hits@1 equals precision in this protocol (every source
+entity emits exactly one prediction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RankMetrics", "rank_metrics", "prf_metrics", "PRF"]
+
+
+@dataclass(frozen=True)
+class RankMetrics:
+    """Ranking quality of one evaluation run."""
+
+    hits: dict[int, float]
+    mr: float
+    mrr: float
+    n: int
+
+    def hits_at(self, m: int) -> float:
+        return self.hits[m]
+
+    def __str__(self) -> str:
+        hits = " ".join(f"H@{m}={v:.3f}" for m, v in sorted(self.hits.items()))
+        return f"{hits} MR={self.mr:.1f} MRR={self.mrr:.3f} (n={self.n})"
+
+
+def rank_metrics(
+    similarity: np.ndarray,
+    gold: np.ndarray,
+    hits_at: tuple[int, ...] = (1, 5, 10),
+) -> RankMetrics:
+    """Compute Hits@m / MR / MRR from a similarity matrix.
+
+    ``gold[i]`` is the column index of source row ``i``'s true counterpart.
+    Ranks are 1-based; ties are counted optimistically-neutral by ranking
+    the gold entity below strictly-more-similar candidates only.
+    """
+    gold = np.asarray(gold, dtype=np.int64)
+    if similarity.shape[0] != gold.shape[0]:
+        raise ValueError(
+            f"{similarity.shape[0]} rows but {gold.shape[0]} gold labels"
+        )
+    if similarity.shape[0] == 0:
+        return RankMetrics(hits={m: 0.0 for m in hits_at}, mr=0.0, mrr=0.0, n=0)
+    gold_scores = similarity[np.arange(len(gold)), gold]
+    ranks = 1 + (similarity > gold_scores[:, None]).sum(axis=1)
+    hits = {m: float((ranks <= m).mean()) for m in hits_at}
+    return RankMetrics(
+        hits=hits,
+        mr=float(ranks.mean()),
+        mrr=float((1.0 / ranks).mean()),
+        n=len(gold),
+    )
+
+
+@dataclass(frozen=True)
+class PRF:
+    """Precision / recall / F1 of a predicted alignment set."""
+
+    precision: float
+    recall: float
+    f1: float
+    n_predicted: int
+    n_gold: int
+
+    def __str__(self) -> str:
+        return (
+            f"P={self.precision:.3f} R={self.recall:.3f} F1={self.f1:.3f} "
+            f"(pred={self.n_predicted}, gold={self.n_gold})"
+        )
+
+
+def prf_metrics(
+    predicted: set[tuple[str, str]] | list[tuple[str, str]],
+    gold: set[tuple[str, str]] | list[tuple[str, str]],
+) -> PRF:
+    """Set-based precision/recall/F1 (the conventional-systems protocol)."""
+    predicted_set = set(predicted)
+    gold_set = set(gold)
+    correct = len(predicted_set & gold_set)
+    precision = correct / len(predicted_set) if predicted_set else 0.0
+    recall = correct / len(gold_set) if gold_set else 0.0
+    if precision + recall == 0.0:
+        f1 = 0.0
+    else:
+        f1 = 2.0 * precision * recall / (precision + recall)
+    return PRF(
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        n_predicted=len(predicted_set),
+        n_gold=len(gold_set),
+    )

@@ -1,0 +1,127 @@
+"""Alignment inference strategies (§2.2.2).
+
+Given a source-by-target similarity matrix, produce a predicted alignment:
+
+* **greedy** nearest-neighbor search — what every surveyed approach uses;
+* **stable marriage** — the Gale-Shapley strategy evaluated in Table 6;
+* **Kuhn-Munkres** (Hungarian) — the collective O(N^3) strategy, solved
+  with :func:`scipy.optimize.linear_sum_assignment`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+__all__ = [
+    "greedy_alignment",
+    "stable_marriage",
+    "hungarian_alignment",
+    "heuristic_matching",
+    "INFERENCE_STRATEGIES",
+    "infer_alignment",
+]
+
+
+def greedy_alignment(similarity: np.ndarray) -> np.ndarray:
+    """For each source row, the index of its most similar target.
+
+    Several sources may pick the same target (the 1-to-1 violations the
+    hubness analysis of Figure 10 counts).
+    """
+    return similarity.argmax(axis=1)
+
+
+def stable_marriage(similarity: np.ndarray) -> np.ndarray:
+    """Gale-Shapley stable matching; sources propose, targets accept/reject.
+
+    Returns, per source row, the matched target index, or -1 for sources
+    left unmatched (only possible when there are more sources than
+    targets).
+    """
+    n_source, n_target = similarity.shape
+    # Preference lists: targets in decreasing similarity per source.
+    preference = np.argsort(-similarity, axis=1)
+    next_choice = np.zeros(n_source, dtype=np.int64)
+    match_of_target = np.full(n_target, -1, dtype=np.int64)
+    match_of_source = np.full(n_source, -1, dtype=np.int64)
+    free = list(range(n_source))
+    while free:
+        source = free.pop()
+        while next_choice[source] < n_target:
+            target = int(preference[source, next_choice[source]])
+            next_choice[source] += 1
+            holder = match_of_target[target]
+            if holder == -1:
+                match_of_target[target] = source
+                match_of_source[source] = target
+                break
+            if similarity[source, target] > similarity[holder, target]:
+                match_of_target[target] = source
+                match_of_source[source] = target
+                match_of_source[holder] = -1
+                free.append(holder)
+                break
+    return match_of_source
+
+
+def heuristic_matching(similarity: np.ndarray) -> np.ndarray:
+    """Near-linear-time collective matching (§2.2.2's heuristic option).
+
+    Sorts all mutual-nearest-neighbor candidates plus per-row maxima by
+    similarity and greedily commits conflict-free pairs — the classic
+    cheap approximation of maximum-weight bipartite matching.  Returns,
+    per source row, the matched target or -1.
+    """
+    n_source, n_target = similarity.shape
+    row_best = similarity.argmax(axis=1)
+    col_best = similarity.argmax(axis=0)
+    candidates = {(i, int(row_best[i])) for i in range(n_source)}
+    candidates.update((int(col_best[j]), j) for j in range(n_target))
+    ordered = sorted(candidates, key=lambda ij: -similarity[ij[0], ij[1]])
+    result = np.full(n_source, -1, dtype=np.int64)
+    taken = np.zeros(n_target, dtype=bool)
+    for i, j in ordered:
+        if result[i] == -1 and not taken[j]:
+            result[i] = j
+            taken[j] = True
+    # second pass: unmatched sources take their best free target
+    for i in np.where(result == -1)[0]:
+        free = np.where(~taken)[0]
+        if free.size == 0:
+            break
+        j = free[int(similarity[i, free].argmax())]
+        result[i] = j
+        taken[j] = True
+    return result
+
+
+def hungarian_alignment(similarity: np.ndarray) -> np.ndarray:
+    """Globally optimal 1-to-1 assignment maximizing total similarity.
+
+    Returns, per source row, the assigned target index, or -1 when there
+    are more sources than targets and the source was left out.
+    """
+    rows, cols = linear_sum_assignment(similarity, maximize=True)
+    result = np.full(similarity.shape[0], -1, dtype=np.int64)
+    result[rows] = cols
+    return result
+
+
+INFERENCE_STRATEGIES = {
+    "greedy": greedy_alignment,
+    "stable_marriage": stable_marriage,
+    "hungarian": hungarian_alignment,
+    "heuristic": heuristic_matching,
+}
+
+
+def infer_alignment(similarity: np.ndarray, strategy: str = "greedy") -> np.ndarray:
+    """Run a named inference strategy on a similarity matrix."""
+    try:
+        func = INFERENCE_STRATEGIES[strategy]
+    except KeyError:
+        raise KeyError(
+            f"unknown strategy {strategy!r}; choose from {sorted(INFERENCE_STRATEGIES)}"
+        ) from None
+    return func(similarity)

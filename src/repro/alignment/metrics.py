@@ -1,0 +1,90 @@
+"""Distance metrics of the alignment module (Figure 4).
+
+All functions return *similarity* matrices (larger = more similar) so the
+inference strategies can share one convention.  Cosine, Euclidean and
+Manhattan are the three metrics the surveyed approaches use (Table 1);
+CSLS (Eq. 7) is the hubness-corrected metric of §6.1.2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "cosine_similarity",
+    "euclidean_similarity",
+    "manhattan_similarity",
+    "similarity_matrix",
+    "csls",
+    "METRICS",
+]
+
+
+def _normalize_rows(x: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(x, axis=1, keepdims=True)
+    return x / np.maximum(norms, 1e-12)
+
+
+def cosine_similarity(source: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """Pairwise cosine similarity, shape ``(len(source), len(target))``."""
+    return _normalize_rows(source) @ _normalize_rows(target).T
+
+
+def euclidean_similarity(source: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """Negated pairwise Euclidean distance."""
+    source_sq = (source**2).sum(axis=1)[:, None]
+    target_sq = (target**2).sum(axis=1)[None, :]
+    squared = source_sq + target_sq - 2.0 * source @ target.T
+    return -np.sqrt(np.maximum(squared, 0.0))
+
+
+def manhattan_similarity(source: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """Negated pairwise L1 distance (blocked to bound memory)."""
+    n, m = len(source), len(target)
+    out = np.empty((n, m))
+    block = max(1, 2**22 // max(m * source.shape[1], 1))
+    for start in range(0, n, block):
+        stop = min(start + block, n)
+        out[start:stop] = -np.abs(
+            source[start:stop, None, :] - target[None, :, :]
+        ).sum(axis=2)
+    return out
+
+
+METRICS = {
+    "cosine": cosine_similarity,
+    "euclidean": euclidean_similarity,
+    "manhattan": manhattan_similarity,
+}
+
+
+def similarity_matrix(
+    source: np.ndarray, target: np.ndarray, metric: str = "cosine"
+) -> np.ndarray:
+    """Pairwise similarity under a named metric."""
+    try:
+        func = METRICS[metric]
+    except KeyError:
+        raise KeyError(
+            f"unknown metric {metric!r}; choose from {sorted(METRICS)}"
+        ) from None
+    return func(source, target)
+
+
+def csls(similarity: np.ndarray, k: int = 10) -> np.ndarray:
+    """Cross-domain similarity local scaling (Eq. 7).
+
+    ``CSLS(s, t) = 2 sim(s, t) - psi_t(s) - psi_s(t)`` where ``psi`` is the
+    average similarity to the k nearest neighbors in the other domain.
+    Penalizes hub entities and lifts isolated ones.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    k_row = min(k, similarity.shape[1])
+    k_col = min(k, similarity.shape[0])
+    # Average of the k largest entries per row / per column.
+    top_rows = np.partition(similarity, -k_row, axis=1)[:, -k_row:]
+    psi_source = top_rows.mean(axis=1)  # psi_t(x_s), per source entity
+    top_cols = np.partition(similarity, -k_col, axis=0)[-k_col:, :]
+    psi_target = top_cols.mean(axis=0)  # psi_s(x_t), per target entity
+    return 2.0 * similarity - psi_source[:, None] - psi_target[None, :]

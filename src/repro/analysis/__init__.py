@@ -1,0 +1,13 @@
+"""Exploratory analysis: geometry, long-tail recall, prediction overlap."""
+
+from .degree_recall import DEGREE_BUCKETS, bucket_of, recall_by_degree
+from .geometry import SimilarityDistribution, hubness_isolation, similarity_distribution
+from .norms import degree_norm_correlation, norm_by_degree
+from .overlap import prediction_overlap
+
+__all__ = [
+    "similarity_distribution", "SimilarityDistribution", "hubness_isolation",
+    "recall_by_degree", "bucket_of", "DEGREE_BUCKETS",
+    "prediction_overlap",
+    "norm_by_degree", "degree_norm_correlation",
+]

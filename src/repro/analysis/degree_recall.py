@@ -1,0 +1,46 @@
+"""Recall by alignment degree — the long-tail analysis of Figure 5."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kg import KGPair
+
+__all__ = ["DEGREE_BUCKETS", "bucket_of", "recall_by_degree"]
+
+DEGREE_BUCKETS: list[tuple[int, float]] = [(1, 6), (6, 11), (11, 16), (16, np.inf)]
+
+
+def bucket_of(degree: int, buckets=None) -> int:
+    """Index of the degree bucket ``degree`` falls into (clamped)."""
+    buckets = buckets or DEGREE_BUCKETS
+    for index, (low, high) in enumerate(buckets):
+        if low <= degree < high:
+            return index
+    return 0 if degree < buckets[0][0] else len(buckets) - 1
+
+
+def recall_by_degree(
+    pair: KGPair,
+    test_pairs: list[tuple[str, str]],
+    predicted: list[tuple[str, str]],
+    buckets=None,
+) -> dict[tuple[int, float], tuple[float, int]]:
+    """Recall within each alignment-degree bucket.
+
+    The degree of an alignment is the sum of its two entities' relation
+    triples (paper Figure 5).  Returns ``bucket -> (recall, count)``.
+    """
+    buckets = buckets or DEGREE_BUCKETS
+    correct = set(predicted) & set(test_pairs)
+    hits = [0] * len(buckets)
+    totals = [0] * len(buckets)
+    for gold in test_pairs:
+        index = bucket_of(pair.alignment_degree(gold), buckets)
+        totals[index] += 1
+        if gold in correct:
+            hits[index] += 1
+    return {
+        bucket: ((hits[i] / totals[i]) if totals[i] else 0.0, totals[i])
+        for i, bucket in enumerate(buckets)
+    }

@@ -1,0 +1,52 @@
+"""Embedding-norm bias analysis.
+
+Translational embeddings tend to encode entity *degree* in the embedding
+norm (hub entities drift outward), which biases nearest-neighbor search
+toward hubs — one mechanism behind the long-tail failures of Figure 5
+and the motivation for SEA's degree-aware regularization.  This module
+measures that bias.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["norm_by_degree", "degree_norm_correlation"]
+
+
+def norm_by_degree(
+    embeddings: np.ndarray,
+    degrees: np.ndarray,
+    buckets: list[tuple[int, float]] | None = None,
+) -> dict[tuple[int, float], tuple[float, int]]:
+    """Mean embedding norm per degree bucket.
+
+    Returns ``bucket -> (mean_norm, count)``; empty buckets report
+    ``(nan, 0)``.
+    """
+    from .degree_recall import DEGREE_BUCKETS
+
+    buckets = buckets or DEGREE_BUCKETS
+    degrees = np.asarray(degrees)
+    norms = np.linalg.norm(embeddings, axis=1)
+    out: dict[tuple[int, float], tuple[float, int]] = {}
+    for low, high in buckets:
+        mask = (degrees >= low) & (degrees < high)
+        count = int(mask.sum())
+        mean = float(norms[mask].mean()) if count else float("nan")
+        out[(low, high)] = (mean, count)
+    return out
+
+
+def degree_norm_correlation(embeddings: np.ndarray, degrees: np.ndarray) -> float:
+    """Pearson correlation between entity degree and embedding norm.
+
+    Near 0 indicates degree-unbiased norms (what per-epoch normalization
+    or SEA's regularizer enforce); strongly positive values indicate hub
+    drift.  Returns 0.0 when either quantity is constant.
+    """
+    degrees = np.asarray(degrees, dtype=np.float64)
+    norms = np.linalg.norm(embeddings, axis=1)
+    if len(degrees) < 2 or degrees.std() == 0.0 or norms.std() == 0.0:
+        return 0.0
+    return float(np.corrcoef(degrees, norms)[0, 1])

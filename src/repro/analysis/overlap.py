@@ -1,0 +1,34 @@
+"""Overlap of correct predictions across systems — Figure 12's Venn."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+__all__ = ["prediction_overlap"]
+
+
+def prediction_overlap(
+    correct_by_system: dict[str, set[tuple[str, str]]],
+    gold: set[tuple[str, str]],
+) -> dict[frozenset[str], float]:
+    """Proportion of the gold alignment found by each system combination.
+
+    Returns a map from the *exact* set of systems that found an alignment
+    (the Venn region) to its share of ``gold``; the empty frozenset is the
+    share no system found.
+    """
+    if not gold:
+        return {}
+    regions: dict[frozenset[str], int] = {}
+    for pair in gold:
+        finders = frozenset(
+            name for name, correct in correct_by_system.items() if pair in correct
+        )
+        regions[finders] = regions.get(finders, 0) + 1
+    total = len(gold)
+    # make sure every possible region is present for stable reporting
+    names = list(correct_by_system)
+    for size in range(len(names) + 1):
+        for combo in combinations(names, size):
+            regions.setdefault(frozenset(combo), 0)
+    return {region: count / total for region, count in regions.items()}

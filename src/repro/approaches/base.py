@@ -1,0 +1,321 @@
+"""Shared framework of the 12 entity alignment approaches.
+
+Mirrors the paper's Figure 1/4 decomposition: an *embedding module* (the
+subclass's ``_setup`` / ``_run_epoch``), an *alignment module* (distance
+metric + inference, provided here), and an *interaction mode* declared in
+each approach's :class:`ApproachInfo`.
+
+Training follows the common protocol of Table 4: fixed relation-triple
+batch size and early stopping when validation Hits@1 begins to drop
+(checked every ``valid_every`` epochs), restoring the best snapshot.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..alignment import csls as csls_rescale
+from ..alignment import infer_alignment, rank_metrics, similarity_matrix
+from ..alignment.evaluate import RankMetrics
+from ..kg import AlignmentSplit, EntityIndex, KGPair
+
+__all__ = [
+    "ApproachConfig",
+    "ApproachInfo",
+    "AugmentationRecord",
+    "TrainingLog",
+    "PairData",
+    "EmbeddingApproach",
+]
+
+
+@dataclass
+class ApproachConfig:
+    """Hyper-parameters shared by all approaches (Table 4 conventions)."""
+
+    dim: int = 32
+    epochs: int = 50
+    lr: float = 0.02
+    batch_size: int = 1024
+    n_negatives: int = 5
+    margin: float = 1.5
+    optimizer: str = "adam"
+    seed: int = 0
+    valid_every: int = 10
+    early_stop: bool = True
+    patience: int = 2  # consecutive non-improving checks before stopping
+    use_attributes: bool = True
+    use_relations: bool = True
+
+
+@dataclass(frozen=True)
+class ApproachInfo:
+    """Table 1 categorization of one approach."""
+
+    name: str
+    relation_embedding: str     # Triple / Path / Neighbor
+    attribute_embedding: str    # '-', 'Att.', 'Literal'
+    metric: str                 # cosine / euclidean / manhattan
+    combination: str            # Transformation / Sharing / Swapping / Calibration
+    learning: str               # Supervised / Semi-supervised
+    requires_attributes: bool = False
+    uses_attributes: bool = False
+    uses_word_embeddings: bool = False
+
+
+@dataclass
+class AugmentationRecord:
+    """Quality of one semi-supervised augmentation round (Figure 7)."""
+
+    iteration: int
+    n_proposed: int
+    precision: float
+    recall: float
+    f1: float
+
+
+@dataclass
+class TrainingLog:
+    """What one ``fit`` run recorded."""
+
+    losses: list[float] = field(default_factory=list)
+    valid_history: list[tuple[int, float]] = field(default_factory=list)
+    augmentation: list[AugmentationRecord] = field(default_factory=list)
+    epochs_run: int = 0
+    best_epoch: int = 0
+    train_seconds: float = 0.0
+
+
+class PairData:
+    """Integer indexing of a KG pair for the embedding models.
+
+    Entities of both KGs share one id space.  With ``merge_seeds`` the
+    training alignment is folded by *parameter sharing*: each aligned
+    training pair maps to a single id (the "Sharing" combination mode).
+    """
+
+    def __init__(self, pair: KGPair, split: AlignmentSplit, merge_seeds: bool = False):
+        self.pair = pair
+        self.split = split
+        self.merged = merge_seeds
+        alias: dict[str, str] = {}
+        if merge_seeds:
+            alias = {b: a for a, b in split.train}
+        self._alias = alias
+
+        self.entities1 = sorted(pair.kg1.entities)
+        self.entities2 = sorted(pair.kg2.entities)
+        self.ent_index = EntityIndex()
+        for entity in self.entities1:
+            self.ent_index.add(entity)
+        for entity in self.entities2:
+            self.ent_index.add(alias.get(entity, entity))
+        # Entities referenced only by the alignment (possible after feature
+        # masking drops all their triples) still need ids for evaluation.
+        for left, right in pair.alignment:
+            self.ent_index.add(left)
+            self.ent_index.add(alias.get(right, right))
+
+        self.rel_index = EntityIndex()
+        for _, relation, _ in pair.kg1.relation_triples:
+            self.rel_index.add(f"1:{relation}")
+        for _, relation, _ in pair.kg2.relation_triples:
+            self.rel_index.add(f"2:{relation}")
+
+        self.triples1 = self._index_triples(pair.kg1.relation_triples, "1")
+        self.triples2 = self._index_triples(pair.kg2.relation_triples, "2")
+        self.triples = (
+            np.concatenate([self.triples1, self.triples2])
+            if len(self.triples1) or len(self.triples2)
+            else np.zeros((0, 3), dtype=np.int64)
+        )
+
+    def _index_triples(self, triples, side: str) -> np.ndarray:
+        if not triples:
+            return np.zeros((0, 3), dtype=np.int64)
+        rows = [
+            (
+                self.entity_id(head),
+                self.rel_index.id_of(f"{side}:{relation}"),
+                self.entity_id(tail),
+            )
+            for head, relation, tail in triples
+        ]
+        return np.array(rows, dtype=np.int64)
+
+    @property
+    def n_entities(self) -> int:
+        return len(self.ent_index)
+
+    @property
+    def n_relations(self) -> int:
+        return max(1, len(self.rel_index))
+
+    def entity_id(self, entity: str) -> int:
+        return self.ent_index.id_of(self._alias.get(entity, entity))
+
+    def entity_ids(self, entities) -> np.ndarray:
+        return np.array([self.entity_id(e) for e in entities], dtype=np.int64)
+
+    def seed_id_pairs(self, pairs) -> np.ndarray:
+        """Id pairs for an alignment list, shape (n, 2)."""
+        if not pairs:
+            return np.zeros((0, 2), dtype=np.int64)
+        return np.array(
+            [(self.entity_id(a), self.entity_id(b)) for a, b in pairs],
+            dtype=np.int64,
+        )
+
+
+class EmbeddingApproach:
+    """Template of an embedding-based entity alignment approach.
+
+    Subclasses implement ``_setup`` (build models from the pair + split)
+    and ``_run_epoch`` (one training pass returning the epoch loss), and
+    provide entity matrices via ``_source_matrix`` / ``_target_matrix``.
+    """
+
+    info: ApproachInfo
+
+    def __init__(self, config: ApproachConfig | None = None):
+        self.config = config or ApproachConfig()
+        self.log = TrainingLog()
+        self.pair: KGPair | None = None
+        self.split: AlignmentSplit | None = None
+
+    # ------------------------------------------------------------------
+    # subclass hooks
+    # ------------------------------------------------------------------
+    def _setup(self, pair: KGPair, split: AlignmentSplit, rng: np.random.Generator) -> None:
+        raise NotImplementedError
+
+    def _run_epoch(self, epoch: int, rng: np.random.Generator) -> float:
+        raise NotImplementedError
+
+    def _parameters(self):
+        """All trainable parameters (used for best-snapshot restore)."""
+        raise NotImplementedError
+
+    def _source_matrix(self, entities: list[str]) -> np.ndarray:
+        """Embeddings of KG1 entities, mapped into the comparison space."""
+        raise NotImplementedError
+
+    def _target_matrix(self, entities: list[str]) -> np.ndarray:
+        """Embeddings of KG2 entities in the comparison space."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def fit(self, pair: KGPair, split: AlignmentSplit) -> TrainingLog:
+        """Train on ``split.train``, early-stopping on ``split.valid``."""
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        self.pair = pair
+        self.split = split
+        self.log = TrainingLog()
+        started = time.perf_counter()
+        self._setup(pair, split, rng)
+
+        best_hits = -1.0
+        best_state: list[np.ndarray] | None = None
+        best_epoch = 0
+        bad_checks = 0
+        if split.valid and config.valid_every:
+            # epoch-0 snapshot: approaches with informative initialization
+            # (literal features) must never end below their starting point
+            best_hits = self.evaluate(split.valid, hits_at=(1,)).hits_at(1)
+            best_state = [p.data.copy() for p in self._parameters()]
+        for epoch in range(1, config.epochs + 1):
+            loss = self._run_epoch(epoch, rng)
+            self.log.losses.append(loss)
+            self.log.epochs_run = epoch
+            if split.valid and config.valid_every and epoch % config.valid_every == 0:
+                hits1 = self.evaluate(split.valid, hits_at=(1,)).hits_at(1)
+                self.log.valid_history.append((epoch, hits1))
+                if hits1 >= best_hits:
+                    best_hits = hits1
+                    best_epoch = epoch
+                    best_state = [p.data.copy() for p in self._parameters()]
+                    bad_checks = 0
+                else:
+                    bad_checks += 1
+                    if config.early_stop and bad_checks >= config.patience:
+                        break
+        if best_state is not None:
+            for parameter, saved in zip(self._parameters(), best_state):
+                parameter.data[...] = saved
+        self.log.best_epoch = best_epoch or self.log.epochs_run
+        self.log.train_seconds = time.perf_counter() - started
+        return self.log
+
+    # ------------------------------------------------------------------
+    # alignment module
+    # ------------------------------------------------------------------
+    def similarity_between(
+        self,
+        sources: list[str],
+        targets: list[str],
+        metric: str | None = None,
+        csls_k: int = 0,
+    ) -> np.ndarray:
+        """Similarity matrix between named source and target entities."""
+        matrix = similarity_matrix(
+            self._source_matrix(sources),
+            self._target_matrix(targets),
+            metric or self.info.metric,
+        )
+        if csls_k > 0:
+            matrix = csls_rescale(matrix, k=csls_k)
+        return matrix
+
+    def predict(
+        self,
+        pairs: list[tuple[str, str]],
+        strategy: str = "greedy",
+        metric: str | None = None,
+        csls_k: int = 0,
+    ) -> list[tuple[str, str]]:
+        """Predicted alignment over the entities of ``pairs``."""
+        sources = [a for a, _ in pairs]
+        targets = [b for _, b in pairs]
+        similarity = self.similarity_between(sources, targets, metric, csls_k)
+        assignment = infer_alignment(similarity, strategy)
+        return [
+            (source, targets[int(j)])
+            for source, j in zip(sources, assignment)
+            if j >= 0
+        ]
+
+    def evaluate(
+        self,
+        pairs: list[tuple[str, str]],
+        hits_at: tuple[int, ...] = (1, 5, 10),
+        metric: str | None = None,
+        csls_k: int = 0,
+        candidates: str = "test",
+    ) -> RankMetrics:
+        """Rank metrics over ``pairs``.
+
+        ``candidates`` selects the target candidate set: ``"test"`` ranks
+        against the targets of ``pairs`` (the compact OpenEA protocol);
+        ``"all"`` ranks against every entity of KG2 — the harder setting
+        whose cost §7.2 discusses for large KGs.
+        """
+        sources = [a for a, _ in pairs]
+        if candidates == "test":
+            targets = [b for _, b in pairs]
+            gold = np.arange(len(pairs))
+        elif candidates == "all":
+            if self.pair is None:
+                raise RuntimeError("fit() must run before candidates='all'")
+            targets = sorted(self.pair.kg2.entities)
+            index = {entity: i for i, entity in enumerate(targets)}
+            gold = np.array([index[b] for _, b in pairs], dtype=np.int64)
+        else:
+            raise ValueError("candidates must be 'test' or 'all'")
+        similarity = self.similarity_between(sources, targets, metric, csls_k)
+        return rank_metrics(similarity, gold, hits_at=hits_at)

@@ -1,0 +1,126 @@
+"""Literal-derived entity vectors shared by the attribute-using approaches.
+
+The paper's approaches consume literals in three ways: word-embedded
+attribute values (JAPE's successor methods, IMUSE, MultiKE's attribute
+view), name-like labels (MultiKE's name view, RDGCN's initialization),
+and long textual descriptions (KDCoE).  AttrE instead encodes values at
+the character level (Eq. 5).
+
+Values are weighted by inverse document frequency so that rare literals
+(near-keys) dominate ubiquitous ones.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from ..kg import KnowledgeGraph
+from ..text import CharEmbeddingTable, WordEmbeddingTable
+
+__all__ = [
+    "value_word_vectors",
+    "name_vectors",
+    "description_vectors",
+    "char_vectors",
+    "vectors_to_matrix",
+]
+
+
+def _idf_weights(kg: KnowledgeGraph) -> dict[str, float]:
+    counts = Counter(value for _, _, value in kg.attribute_triples)
+    return {value: 1.0 / np.log(2.0 + count) for value, count in counts.items()}
+
+
+def value_word_vectors(
+    kg: KnowledgeGraph, language: str = "en", dim: int = 32, seed: int = 0
+) -> dict[str, np.ndarray]:
+    """IDF-weighted mean word vector over all of an entity's values."""
+    table = WordEmbeddingTable(dim=dim, language=language, seed=seed)
+    idf = _idf_weights(kg)
+    sums: dict[str, np.ndarray] = {}
+    weights: dict[str, float] = {}
+    for entity, _, value in kg.attribute_triples:
+        vec = table.embed_text(value)
+        weight = idf[value]
+        if entity not in sums:
+            sums[entity] = weight * vec
+            weights[entity] = weight
+        else:
+            sums[entity] += weight * vec
+            weights[entity] += weight
+    return {
+        entity: sums[entity] / max(weights[entity], 1e-12) for entity in sums
+    }
+
+
+def name_vectors(
+    kg: KnowledgeGraph, language: str = "en", dim: int = 32, seed: int = 0
+) -> dict[str, np.ndarray]:
+    """A name-like vector per entity.
+
+    Entity labels are deleted from the datasets (paper §3.2), so, like the
+    name-view approaches, we take the entity's *rarest short* literal as
+    its label surrogate: at most 4 tokens, highest IDF.
+    """
+    table = WordEmbeddingTable(dim=dim, language=language, seed=seed)
+    idf = _idf_weights(kg)
+    best: dict[str, tuple[float, str]] = {}
+    for entity, _, value in kg.attribute_triples:
+        if len(value.split()) > 4:
+            continue
+        score = idf[value]
+        if entity not in best or score > best[entity][0]:
+            best[entity] = (score, value)
+    return {entity: table.embed_text(value) for entity, (_, value) in best.items()}
+
+
+def description_vectors(
+    kg: KnowledgeGraph, language: str = "en", dim: int = 32,
+    min_tokens: int = 5, seed: int = 0,
+) -> dict[str, np.ndarray]:
+    """The entity's longest literal, if long enough to act as a description.
+
+    Entities without a sufficiently long literal are absent from the
+    result — the coverage gap that limits KDCoE's co-training (§5.2).
+    """
+    table = WordEmbeddingTable(dim=dim, language=language, seed=seed)
+    longest: dict[str, str] = {}
+    for entity, _, value in kg.attribute_triples:
+        if len(value.split()) >= min_tokens:
+            if entity not in longest or len(value) > len(longest[entity]):
+                longest[entity] = value
+    return {entity: table.embed_text(value) for entity, value in longest.items()}
+
+
+def char_vectors(
+    kg: KnowledgeGraph, dim: int = 32, seed: int = 0
+) -> dict[str, np.ndarray]:
+    """AttrE-style character-level entity vectors (IDF-weighted)."""
+    table = CharEmbeddingTable(dim=dim, seed=seed)
+    idf = _idf_weights(kg)
+    sums: dict[str, np.ndarray] = {}
+    weights: dict[str, float] = {}
+    for entity, _, value in kg.attribute_triples:
+        vec = table.embed_literal(value)
+        weight = idf[value]
+        if entity not in sums:
+            sums[entity] = weight * vec
+            weights[entity] = weight
+        else:
+            sums[entity] += weight * vec
+            weights[entity] += weight
+    return {entity: sums[entity] / max(weights[entity], 1e-12) for entity in sums}
+
+
+def vectors_to_matrix(
+    vectors: dict[str, np.ndarray], entities: list[str], dim: int
+) -> np.ndarray:
+    """Stack per-entity vectors into a matrix, zero rows for missing ones."""
+    out = np.zeros((len(entities), dim))
+    for i, entity in enumerate(entities):
+        vec = vectors.get(entity)
+        if vec is not None:
+            out[i] = vec
+    return out

@@ -1,0 +1,80 @@
+"""Registry of the 12 implemented approaches and their requirements.
+
+``REQUIRED_INFORMATION`` reproduces the paper's Table 9: which inputs each
+approach needs (mandatory / optional / not applicable), covering relation
+and attribute triples, pre-aligned entities/properties, and word
+embeddings or machine translation.
+"""
+
+from __future__ import annotations
+
+from .attr_family import AttrE, IMUSE, JAPE, KDCoE, MultiKE
+from .base import ApproachConfig, EmbeddingApproach
+from .gcn_family import GCNAlign, RDGCN
+from .rsn import RSN4EA
+from .trans_family import SEA, BootEA, IPTransE, MTransE
+
+__all__ = ["APPROACHES", "get_approach", "REQUIRED_INFORMATION", "required_information_table"]
+
+APPROACHES: dict[str, type[EmbeddingApproach]] = {
+    "MTransE": MTransE,
+    "IPTransE": IPTransE,
+    "JAPE": JAPE,
+    "KDCoE": KDCoE,
+    "BootEA": BootEA,
+    "GCNAlign": GCNAlign,
+    "AttrE": AttrE,
+    "IMUSE": IMUSE,
+    "SEA": SEA,
+    "RSN4EA": RSN4EA,
+    "MultiKE": MultiKE,
+    "RDGCN": RDGCN,
+}
+
+# Approaches beyond the paper's 12 (AliNet, unsupervised Procrustes, ...)
+# register themselves here; get_approach resolves both registries.
+EXTRA_APPROACHES: dict[str, type[EmbeddingApproach]] = {}
+
+
+def get_approach(name: str, config: ApproachConfig | None = None, **kwargs) -> EmbeddingApproach:
+    """Instantiate an approach (benchmarked or extension) by name."""
+    combined = {**APPROACHES, **EXTRA_APPROACHES}
+    key = {k.lower(): k for k in combined}.get(name.lower())
+    if key is None:
+        raise KeyError(f"unknown approach {name!r}; choose from {sorted(combined)}")
+    return combined[key](config, **kwargs)
+
+
+# Table 9: * mandatory, o optional, blank not applicable, t = machine
+# translation mandatory for cross-lingual entity alignment.
+REQUIRED_INFORMATION: dict[str, dict[str, str]] = {
+    #             rel/attr triples  pre-aligned ent/prop  word emb/translation
+    "MTransE":  {"triples": "*/ ", "prealigned": "*/o", "word": " / "},
+    "IPTransE": {"triples": "*/ ", "prealigned": "*/o", "word": " / "},
+    "JAPE":     {"triples": "*/o", "prealigned": "*/o", "word": " / "},
+    "KDCoE":    {"triples": "o/o", "prealigned": "*/ ", "word": "o/ "},
+    "BootEA":   {"triples": "*/ ", "prealigned": "*/ ", "word": " / "},
+    "GCNAlign": {"triples": "*/o", "prealigned": "*/o", "word": " / "},
+    "AttrE":    {"triples": "o/o", "prealigned": "*/ ", "word": "o/ "},
+    "IMUSE":    {"triples": "o/o", "prealigned": "*/ ", "word": "o/ "},
+    "SEA":      {"triples": "*/ ", "prealigned": "*/ ", "word": " / "},
+    "RSN4EA":   {"triples": "*/ ", "prealigned": "*/ ", "word": " / "},
+    "MultiKE":  {"triples": "o/o", "prealigned": "*/o", "word": "o/ "},
+    "RDGCN":    {"triples": "*/o", "prealigned": "*/ ", "word": "o/ "},
+    "LogMap":   {"triples": "o/*", "prealigned": " / ", "word": " /t"},
+    "PARIS":    {"triples": "o/*", "prealigned": " / ", "word": " /t"},
+}
+
+
+def required_information_table() -> str:
+    """Render Table 9 as fixed-width text."""
+    header = (
+        f"{'Approach':10s} {'Rel/Attr triples':18s} "
+        f"{'Prealigned ent/prop':20s} {'WordEmb/Translation':20s}"
+    )
+    lines = [header, "-" * len(header)]
+    for name, row in REQUIRED_INFORMATION.items():
+        lines.append(
+            f"{name:10s} {row['triples']:18s} {row['prealigned']:20s} {row['word']:20s}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Reverse-mode autodiff engine: the library's TensorFlow substitute."""
+
+from .gradcheck import check_gradients, numerical_gradient
+from .init import (
+    INITIALIZERS,
+    get_initializer,
+    orthogonal_init,
+    uniform_init,
+    unit_init,
+    xavier_init,
+)
+from .module import Module, Parameter
+from .nn import EmbeddingTable, GRUCell, Highway, Linear, conv2d
+from .optim import SGD, Adagrad, Adam, Optimizer, get_optimizer
+from .tensor import (
+    Tensor,
+    as_tensor,
+    circular_correlation,
+    concat,
+    maximum,
+    minimum,
+    sparse_matmul,
+    stack,
+    where,
+)
+
+__all__ = [
+    "Tensor", "as_tensor", "concat", "stack", "where", "maximum", "minimum",
+    "circular_correlation", "sparse_matmul",
+    "Module", "Parameter",
+    "Linear", "EmbeddingTable", "GRUCell", "Highway", "conv2d",
+    "SGD", "Adagrad", "Adam", "Optimizer", "get_optimizer",
+    "unit_init", "uniform_init", "orthogonal_init", "xavier_init",
+    "INITIALIZERS", "get_initializer",
+    "check_gradients", "numerical_gradient",
+]

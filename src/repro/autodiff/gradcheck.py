@@ -1,0 +1,49 @@
+"""Numerical gradient checking used by the test suite."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numerical_gradient", "check_gradients"]
+
+
+def numerical_gradient(
+    func: Callable[..., Tensor], inputs: list[np.ndarray], index: int, eps: float = 1e-6
+) -> np.ndarray:
+    """Central-difference gradient of ``sum(func(*inputs))`` w.r.t. input ``index``."""
+    base = [np.array(x, dtype=np.float64) for x in inputs]
+    grad = np.zeros_like(base[index])
+    flat = grad.reshape(-1)
+    target = base[index].reshape(-1)
+    for i in range(target.size):
+        original = target[i]
+        target[i] = original + eps
+        plus = float(func(*[Tensor(x) for x in base]).data.sum())
+        target[i] = original - eps
+        minus = float(func(*[Tensor(x) for x in base]).data.sum())
+        target[i] = original
+        flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(
+    func: Callable[..., Tensor],
+    inputs: list[np.ndarray],
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+) -> None:
+    """Assert autodiff gradients of ``sum(func(*inputs))`` match finite differences."""
+    tensors = [Tensor(np.array(x, dtype=np.float64), requires_grad=True) for x in inputs]
+    out = func(*tensors)
+    out.sum().backward()
+    for index, tensor in enumerate(tensors):
+        expected = numerical_gradient(func, inputs, index)
+        actual = tensor.grad if tensor.grad is not None else np.zeros_like(expected)
+        np.testing.assert_allclose(
+            actual, expected, atol=atol, rtol=rtol,
+            err_msg=f"gradient mismatch for input {index}",
+        )

@@ -1,0 +1,74 @@
+"""Embedding initialization functions (Figure 4, embedding module).
+
+The paper's library offers unit, uniform, orthogonal and Xavier
+initialization; all four are provided here as pure functions of an explicit
+``numpy.random.Generator``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["unit_init", "uniform_init", "orthogonal_init", "xavier_init"]
+
+
+def unit_init(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Gaussian vectors normalized to unit L2 norm along the last axis."""
+    data = rng.normal(size=shape)
+    norms = np.linalg.norm(data, axis=-1, keepdims=True)
+    return data / np.maximum(norms, 1e-12)
+
+
+def uniform_init(
+    shape: tuple[int, ...], rng: np.random.Generator, scale: float | None = None
+) -> np.ndarray:
+    """Uniform initialization in ``[-scale, scale]``.
+
+    The default scale is the TransE convention ``6 / sqrt(dim)``.
+    """
+    if scale is None:
+        scale = 6.0 / np.sqrt(shape[-1])
+    return rng.uniform(-scale, scale, size=shape)
+
+
+def orthogonal_init(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Orthogonal initialization (rows/columns orthonormal)."""
+    if len(shape) < 2:
+        return unit_init(shape, rng)
+    rows = int(np.prod(shape[:-1]))
+    cols = shape[-1]
+    flat = rng.normal(size=(max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    q *= np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return q[:rows, :cols].reshape(shape)
+
+
+def xavier_init(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Xavier/Glorot uniform initialization."""
+    if len(shape) == 1:
+        bound = np.sqrt(3.0 / shape[0])
+    else:
+        fan_in = int(np.prod(shape[:-1]))
+        fan_out = shape[-1]
+        bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+INITIALIZERS = {
+    "unit": unit_init,
+    "uniform": uniform_init,
+    "orthogonal": orthogonal_init,
+    "xavier": xavier_init,
+}
+
+
+def get_initializer(name: str):
+    """Look up an initializer by name; raises ``KeyError`` with choices."""
+    try:
+        return INITIALIZERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown initializer {name!r}; choose from {sorted(INITIALIZERS)}"
+        ) from None

@@ -1,0 +1,89 @@
+"""Parameter containers and a light ``Module`` abstraction."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A tensor that is updated by an optimizer.
+
+    Parameters always require gradients and carry an optional name used in
+    diagnostics.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, data, name: str = ""):
+        super().__init__(data, requires_grad=True)
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"Parameter(name={self.name!r}, shape={self.shape})"
+
+    def assign(self, data: np.ndarray) -> None:
+        """Replace the parameter value in place (e.g. after normalization)."""
+        data = np.asarray(data, dtype=np.float64)
+        if data.shape != self.data.shape:
+            raise ValueError(
+                f"shape mismatch assigning to {self.name or 'parameter'}: "
+                f"{data.shape} != {self.data.shape}"
+            )
+        self.data[...] = data
+
+
+class Module:
+    """Minimal container of parameters and sub-modules.
+
+    Sub-classes register parameters/sub-modules by plain attribute
+    assignment; :meth:`parameters` walks the object graph.
+    """
+
+    def parameters(self) -> list[Parameter]:
+        """All unique parameters reachable from this module's attributes."""
+        found: list[Parameter] = []
+        seen: set[int] = set()
+        self._collect(found, seen)
+        return found
+
+    def _collect(self, found: list[Parameter], seen: set[int]) -> None:
+        if id(self) in seen:
+            return
+        seen.add(id(self))
+        for value in vars(self).values():
+            self._collect_value(value, found, seen)
+
+    @staticmethod
+    def _collect_value(value, found: list[Parameter], seen: set[int]) -> None:
+        if isinstance(value, Parameter):
+            if id(value) not in seen:
+                seen.add(id(value))
+                found.append(value)
+        elif isinstance(value, Module):
+            value._collect(found, seen)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                Module._collect_value(item, found, seen)
+        elif isinstance(value, dict):
+            for item in value.values():
+                Module._collect_value(item, found, seen)
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients on every parameter."""
+        for parameter in self.parameters():
+            parameter.grad = None
+
+    def named_parameters(self) -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(name, parameter)`` pairs."""
+        for parameter in self.parameters():
+            yield parameter.name, parameter
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(parameter.size for parameter in self.parameters())

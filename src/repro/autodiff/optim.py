@@ -1,0 +1,120 @@
+"""Optimizers for :class:`~repro.autodiff.module.Parameter` collections."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adagrad", "Adam", "get_optimizer"]
+
+
+class Optimizer:
+    """Base class: holds parameters and applies gradient steps."""
+
+    def __init__(self, parameters: list[Parameter], lr: float):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.parameters = list(parameters)
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.grad = None
+
+    def step(self) -> None:
+        for parameter in self.parameters:
+            if parameter.grad is not None:
+                self._update(parameter)
+
+    def _update(self, parameter: Parameter) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: list[Parameter], lr: float = 0.01, momentum: float = 0.0):
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def _update(self, parameter: Parameter) -> None:
+        grad = parameter.grad
+        if self.momentum > 0.0:
+            velocity = self._velocity.get(id(parameter))
+            if velocity is None:
+                velocity = np.zeros_like(parameter.data)
+            velocity = self.momentum * velocity + grad
+            self._velocity[id(parameter)] = velocity
+            grad = velocity
+        parameter.data -= self.lr * grad
+
+
+class Adagrad(Optimizer):
+    """Adagrad (per-coordinate adaptive learning rate)."""
+
+    def __init__(self, parameters: list[Parameter], lr: float = 0.1, eps: float = 1e-8):
+        super().__init__(parameters, lr)
+        self.eps = eps
+        self._accum: dict[int, np.ndarray] = {}
+
+    def _update(self, parameter: Parameter) -> None:
+        accum = self._accum.get(id(parameter))
+        if accum is None:
+            accum = np.zeros_like(parameter.data)
+            self._accum[id(parameter)] = accum
+        accum += parameter.grad**2
+        parameter.data -= self.lr * parameter.grad / (np.sqrt(accum) + self.eps)
+
+
+class Adam(Optimizer):
+    """Adam with bias correction."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        lr: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        super().__init__(parameters, lr)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: dict[int, np.ndarray] = {}
+        self._v: dict[int, np.ndarray] = {}
+        self._t: dict[int, int] = {}
+
+    def _update(self, parameter: Parameter) -> None:
+        key = id(parameter)
+        if key not in self._m:
+            self._m[key] = np.zeros_like(parameter.data)
+            self._v[key] = np.zeros_like(parameter.data)
+            self._t[key] = 0
+        self._t[key] += 1
+        t = self._t[key]
+        m = self._m[key]
+        v = self._v[key]
+        m *= self.beta1
+        m += (1.0 - self.beta1) * parameter.grad
+        v *= self.beta2
+        v += (1.0 - self.beta2) * parameter.grad**2
+        m_hat = m / (1.0 - self.beta1**t)
+        v_hat = v / (1.0 - self.beta2**t)
+        parameter.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+_OPTIMIZERS = {"sgd": SGD, "adagrad": Adagrad, "adam": Adam}
+
+
+def get_optimizer(name: str, parameters: list[Parameter], lr: float) -> Optimizer:
+    """Construct an optimizer by name (``sgd``, ``adagrad`` or ``adam``)."""
+    try:
+        cls = _OPTIMIZERS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown optimizer {name!r}; choose from {sorted(_OPTIMIZERS)}"
+        ) from None
+    return cls(parameters, lr=lr)

@@ -1,0 +1,111 @@
+"""Command-line interface: generate benchmark datasets in OpenEA layout.
+
+Mirrors how the paper's datasets were released: a directory per dataset
+with ``rel_triples_*``, ``attr_triples_*``, ``ent_links`` and the
+``721_5fold`` splits.
+
+Usage::
+
+    python -m repro.cli generate --family EN-FR --size 1500 --version V1 \
+        --out datasets/EN_FR_15K_V1
+    python -m repro.cli stats datasets/EN_FR_15K_V1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .datagen import FAMILIES, benchmark_pair
+from .kg import dataset_summary, load_pair, save_pair, save_splits, validate_pair
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="OpenEA-reproduction dataset tooling"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a benchmark dataset (world -> views -> IDS)"
+    )
+    generate.add_argument("--family", choices=sorted(FAMILIES), required=True)
+    generate.add_argument("--size", type=int, default=1500,
+                          help="target number of aligned entities")
+    generate.add_argument("--version", choices=["V1", "V2"], default="V1")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--method", choices=["ids", "ras", "prs", "direct"],
+                          default="ids")
+    generate.add_argument("--out", type=Path, required=True,
+                          help="output directory (OpenEA layout)")
+
+    stats = commands.add_parser("stats", help="print statistics of a dataset")
+    stats.add_argument("directory", type=Path)
+
+    validate = commands.add_parser(
+        "validate", help="check a dataset's benchmark invariants"
+    )
+    validate.add_argument("directory", type=Path)
+
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    pair = benchmark_pair(
+        args.family, size=args.size, version=args.version,
+        seed=args.seed, method=args.method,
+    )
+    save_pair(pair, args.out)
+    save_splits(pair.five_fold_splits(seed=args.seed), args.out)
+    print(f"wrote {pair} to {args.out}")
+    report = validate_pair(pair)
+    if not report.ok or report.warnings:
+        print(report)
+    for side, kg in (("KG1", pair.kg1), ("KG2", pair.kg2)):
+        summary = dataset_summary(kg)
+        print(f"  {side}: {summary['rel_triples']:.0f} rel triples, "
+              f"{summary['attr_triples']:.0f} attr triples, "
+              f"avg degree {summary['avg_degree']:.2f}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    if not args.directory.is_dir():
+        print(f"error: {args.directory} is not a directory", file=sys.stderr)
+        return 2
+    pair = load_pair(args.directory)
+    print(pair)
+    for side, kg in (("KG1", pair.kg1), ("KG2", pair.kg2)):
+        summary = dataset_summary(kg)
+        cells = " ".join(f"{key}={value:.6g}" for key, value in summary.items())
+        print(f"  {side}: {cells}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    if not args.directory.is_dir():
+        print(f"error: {args.directory} is not a directory", file=sys.stderr)
+        return 2
+    report = validate_pair(load_pair(args.directory))
+    print(report)
+    return 0 if report.ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

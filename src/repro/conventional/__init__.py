@@ -1,0 +1,9 @@
+"""Conventional entity alignment systems: PARIS and a LogMap-style matcher."""
+
+from .logmap import LogMap, LogMapConfig, LogMapResult
+from .paris import Paris, ParisConfig, ParisResult
+
+__all__ = [
+    "Paris", "ParisConfig", "ParisResult",
+    "LogMap", "LogMapConfig", "LogMapResult",
+]

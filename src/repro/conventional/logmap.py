@@ -1,0 +1,158 @@
+"""LogMap-style ontology/instance matcher.
+
+Condenses Jiménez-Ruiz & Cuenca Grau (ISWC 2011) to the capabilities the
+paper's comparison exercises:
+
+1. **lexical indexation** — property alignment from local-name string
+   similarity (after machine translation), then entity *anchors* from
+   highly similar literal values on aligned properties;
+2. **structural propagation** — candidate pairs gain confidence when
+   their neighbors (via relation-aligned edges) are anchors;
+3. **repair** — a greedy 1-to-1 consistency repair that discards mapping
+   conflicts.
+
+Because the lexical stage depends on meaningful property names, the
+matcher outputs nothing on Wikidata-style numeric schemata (the paper's
+observation that LogMap fails on D-W).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from ..kg import KGPair
+from ..text import string_similarity, translate_back
+
+__all__ = ["LogMapConfig", "LogMap"]
+
+
+@dataclass
+class LogMapConfig:
+    """LogMap hyper-parameters."""
+
+    property_threshold: float = 0.75   # property-name alignment
+    anchor_threshold: float = 0.9      # literal similarity for anchors
+    candidate_threshold: float = 0.55  # weaker candidates kept for repair
+    neighbor_bonus: float = 0.25
+    translation_error: float = 0.05
+    max_block: int = 40
+
+
+@dataclass
+class LogMapResult:
+    alignment: list[tuple[str, str]]
+    scores: dict[tuple[str, str], float]
+    property_alignment: dict[str, str]
+
+
+class LogMap:
+    """The LogMap-style matcher; needs no training data (Table 9)."""
+
+    def __init__(self, config: LogMapConfig | None = None):
+        self.config = config or LogMapConfig()
+
+    def align(self, pair: KGPair) -> LogMapResult:
+        """Align ``pair``; returns nothing when the schema is uninterpretable."""
+        lang1 = pair.metadata.get("lang1", "en")
+        lang2 = pair.metadata.get("lang2", "en")
+        property_alignment = self._align_properties(pair, lang1, lang2)
+        if not property_alignment:
+            # No interpretable schema overlap (e.g. D-W): LogMap cannot
+            # compute lexical similarities and outputs nothing.
+            return LogMapResult(alignment=[], scores={}, property_alignment={})
+        scores = self._anchor_scores(pair, property_alignment, lang1, lang2)
+        scores = self._propagate(pair, scores)
+        alignment = self._repair(scores)
+        return LogMapResult(
+            alignment=alignment, scores=scores,
+            property_alignment=property_alignment,
+        )
+
+    # ------------------------------------------------------------------
+    def _normalize(self, text: str, language: str) -> str:
+        if language == "en":
+            return text
+        return translate_back(
+            text, language, error_rate=self.config.translation_error
+        )
+
+    def _align_properties(self, pair: KGPair, lang1, lang2) -> dict[str, str]:
+        """Match attribute names by local-name string similarity."""
+        attrs1 = sorted(pair.kg1.attributes)
+        attrs2 = sorted(pair.kg2.attributes)
+        aligned: dict[str, str] = {}
+        for a1 in attrs1:
+            best, best_score = None, 0.0
+            n1 = self._normalize(a1, lang1)
+            for a2 in attrs2:
+                score = string_similarity(n1, self._normalize(a2, lang2))
+                if score > best_score:
+                    best, best_score = a2, score
+            if best is not None and best_score >= self.config.property_threshold:
+                aligned[a1] = best
+        return aligned
+
+    def _anchor_scores(
+        self, pair: KGPair, property_alignment, lang1, lang2
+    ) -> dict[tuple[str, str], float]:
+        """Entity pairs sharing (nearly) equal values on aligned properties."""
+        config = self.config
+        values2: dict[tuple[str, str], list[str]] = defaultdict(list)
+        for entity, attribute, value in pair.kg2.attribute_triples:
+            values2[(attribute, self._normalize(value, lang2))].append(entity)
+        scores: dict[tuple[str, str], float] = defaultdict(float)
+        for entity, attribute, value in pair.kg1.attribute_triples:
+            a2 = property_alignment.get(attribute)
+            if a2 is None:
+                continue
+            candidates = values2.get((a2, self._normalize(value, lang1)), ())
+            if not candidates or len(candidates) > config.max_block:
+                continue
+            for entity2 in candidates:
+                scores[(entity, entity2)] += 1.0 / len(candidates)
+        # squash accumulated evidence into [0, 1]
+        return {key: min(1.0, value / 2.0 + 0.45) for key, value in scores.items()}
+
+    def _propagate(self, pair: KGPair, scores) -> dict[tuple[str, str], float]:
+        """Neighbor agreement boosts candidate confidence."""
+        config = self.config
+        anchors = {
+            key for key, score in scores.items()
+            if score >= config.anchor_threshold
+        }
+        if not anchors:
+            return dict(scores)
+        anchor_map: dict[str, set[str]] = defaultdict(set)
+        for e1, e2 in anchors:
+            anchor_map[e1].add(e2)
+        neighbors1 = pair.kg1.adjacency()
+        neighbors2 = pair.kg2.adjacency()
+        boosted = dict(scores)
+        for (e1, e2), score in scores.items():
+            if score >= config.anchor_threshold:
+                continue
+            agreement = 0
+            for n1 in neighbors1.get(e1, ()):
+                if anchor_map.get(n1, set()) & neighbors2.get(e2, set()):
+                    agreement += 1
+            if agreement:
+                boosted[(e1, e2)] = min(
+                    1.0, score + config.neighbor_bonus * min(agreement, 3)
+                )
+        return boosted
+
+    def _repair(self, scores) -> list[tuple[str, str]]:
+        """Greedy 1-1 repair: keep the most confident consistent mappings."""
+        taken1: set[str] = set()
+        taken2: set[str] = set()
+        alignment = []
+        for (e1, e2), score in sorted(scores.items(), key=lambda kv: -kv[1]):
+            if score < self.config.candidate_threshold:
+                break
+            if e1 in taken1 or e2 in taken2:
+                continue  # inconsistency: conflicting mapping discarded
+            taken1.add(e1)
+            taken2.add(e2)
+            alignment.append((e1, e2))
+        return alignment

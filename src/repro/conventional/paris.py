@@ -1,0 +1,194 @@
+"""PARIS: probabilistic alignment of relations, instances and schema.
+
+Faithful condensation of Suchanek et al. (PVLDB 2012): literal equality
+weighted by *inverse functionality* seeds instance-equivalence
+probabilities; relation-correspondence probabilities and instance
+probabilities then reinforce each other over a few fixpoint rounds.
+
+As in the paper's study (§6.3), non-English literals are first run
+through machine translation — here the :func:`repro.text.translate_back`
+substitute with a configurable error rate.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..kg import KGPair, KnowledgeGraph
+from ..text import translate_back
+
+__all__ = ["ParisConfig", "Paris"]
+
+
+@dataclass
+class ParisConfig:
+    """PARIS hyper-parameters."""
+
+    iterations: int = 3
+    threshold: float = 0.5          # final acceptance threshold
+    relation_evidence: float = 0.6  # weight of relational reinforcement
+    translation_error: float = 0.05
+    max_block: int = 40             # ignore values shared by more entities
+
+
+@dataclass
+class ParisResult:
+    """Predicted alignment plus diagnostics."""
+
+    alignment: list[tuple[str, str]]
+    scores: dict[tuple[str, str], float]
+    relation_correspondence: dict[tuple[str, str], float] = field(default_factory=dict)
+
+
+class Paris:
+    """The PARIS matcher.
+
+    Usage: ``Paris().align(pair)`` — no training data needed (Table 9:
+    PARIS needs attribute triples, no pre-aligned entities).
+    """
+
+    def __init__(self, config: ParisConfig | None = None):
+        self.config = config or ParisConfig()
+
+    # ------------------------------------------------------------------
+    def align(self, pair: KGPair) -> ParisResult:
+        """Align ``pair`` and return the predicted 1-to-1 alignment."""
+        config = self.config
+        lang1 = pair.metadata.get("lang1", "en")
+        lang2 = pair.metadata.get("lang2", "en")
+        values1 = self._entity_values(pair.kg1, lang1)
+        values2 = self._entity_values(pair.kg2, lang2)
+        ifun1 = self._inverse_functionality(pair.kg1, lang1)
+        ifun2 = self._inverse_functionality(pair.kg2, lang2)
+
+        scores = self._literal_scores(values1, values2, ifun1, ifun2)
+        relation_scores: dict[tuple[str, str], float] = {}
+        for _ in range(config.iterations):
+            relation_scores = self._relation_correspondence(pair, scores)
+            scores = self._reinforce(pair, scores, relation_scores)
+
+        alignment = self._harvest(scores)
+        return ParisResult(
+            alignment=alignment, scores=scores,
+            relation_correspondence=relation_scores,
+        )
+
+    # ------------------------------------------------------------------
+    def _normalize(self, value: str, language: str) -> str:
+        if language == "en":
+            return value
+        return translate_back(
+            value, language, error_rate=self.config.translation_error
+        )
+
+    def _entity_values(
+        self, kg: KnowledgeGraph, language: str
+    ) -> dict[str, list[tuple[str, str]]]:
+        """entity -> [(attribute, normalized value)]."""
+        out: dict[str, list[tuple[str, str]]] = defaultdict(list)
+        for entity, attribute, value in kg.attribute_triples:
+            out[entity].append((attribute, self._normalize(value, language)))
+        return out
+
+    def _inverse_functionality(
+        self, kg: KnowledgeGraph, language: str
+    ) -> dict[str, float]:
+        """ifun(a) = avg(1 / #subjects sharing each value of a)."""
+        subjects_per_value: dict[tuple[str, str], set[str]] = defaultdict(set)
+        for entity, attribute, value in kg.attribute_triples:
+            subjects_per_value[(attribute, self._normalize(value, language))].add(entity)
+        per_attribute: dict[str, list[float]] = defaultdict(list)
+        for (attribute, _), subjects in subjects_per_value.items():
+            per_attribute[attribute].append(1.0 / len(subjects))
+        return {
+            attribute: sum(vals) / len(vals)
+            for attribute, vals in per_attribute.items()
+        }
+
+    def _literal_scores(self, values1, values2, ifun1, ifun2) -> dict[tuple[str, str], float]:
+        """Seed equivalence probabilities from shared literal values."""
+        by_value2: dict[str, list[tuple[str, str]]] = defaultdict(list)
+        for entity, pairs in values2.items():
+            for attribute, value in pairs:
+                by_value2[value].append((entity, attribute))
+        scores: dict[tuple[str, str], float] = {}
+        survival: dict[tuple[str, str], float] = defaultdict(lambda: 1.0)
+        for entity1, pairs in values1.items():
+            for attribute1, value in pairs:
+                matches = by_value2.get(value, ())
+                if not matches or len(matches) > self.config.max_block:
+                    continue
+                for entity2, attribute2 in matches:
+                    evidence = ifun1.get(attribute1, 0.0) * ifun2.get(attribute2, 0.0)
+                    survival[(entity1, entity2)] *= 1.0 - evidence
+        for key, miss in survival.items():
+            scores[key] = 1.0 - miss
+        return scores
+
+    def _relation_correspondence(
+        self, pair: KGPair, scores: dict[tuple[str, str], float]
+    ) -> dict[tuple[str, str], float]:
+        """P(r1 ~ r2) from currently-equivalent endpoint pairs."""
+        overlap: dict[tuple[str, str], float] = defaultdict(float)
+        mass1: dict[str, float] = defaultdict(float)
+        by_head2: dict[str, list[tuple[str, str]]] = defaultdict(list)
+        for head2, relation2, tail2 in pair.kg2.relation_triples:
+            by_head2[head2].append((relation2, tail2))
+        tail_scores: dict[str, dict[str, float]] = defaultdict(dict)
+        for (e1, e2), score in scores.items():
+            if score > 0.1:
+                tail_scores[e1][e2] = score
+        for head1, relation1, tail1 in pair.kg1.relation_triples:
+            mass1[relation1] += 1.0
+            for head2 in tail_scores.get(head1, ()):
+                head_score = tail_scores[head1][head2]
+                for relation2, tail2 in by_head2.get(head2, ()):
+                    tail_score = tail_scores.get(tail1, {}).get(tail2, 0.0)
+                    if tail_score > 0.0:
+                        overlap[(relation1, relation2)] += head_score * tail_score
+        return {
+            key: value / mass1[key[0]]
+            for key, value in overlap.items()
+            if mass1[key[0]] > 0
+        }
+
+    def _reinforce(self, pair, scores, relation_scores) -> dict[tuple[str, str], float]:
+        """Propagate equivalence along corresponding relations."""
+        config = self.config
+        by_head2: dict[str, list[tuple[str, str]]] = defaultdict(list)
+        for head2, relation2, tail2 in pair.kg2.relation_triples:
+            by_head2[head2].append((relation2, tail2))
+        known: dict[str, dict[str, float]] = defaultdict(dict)
+        for (e1, e2), score in scores.items():
+            if score > 0.1:
+                known[e1][e2] = score
+        survival: dict[tuple[str, str], float] = {
+            key: 1.0 - value for key, value in scores.items()
+        }
+        for head1, relation1, tail1 in pair.kg1.relation_triples:
+            for head2 in known.get(head1, ()):
+                head_score = known[head1][head2]
+                for relation2, tail2 in by_head2.get(head2, ()):
+                    rel_score = relation_scores.get((relation1, relation2), 0.0)
+                    if rel_score <= 0.01:
+                        continue
+                    evidence = config.relation_evidence * rel_score * head_score
+                    key = (tail1, tail2)
+                    survival[key] = survival.get(key, 1.0) * (1.0 - evidence)
+        return {key: 1.0 - value for key, value in survival.items()}
+
+    def _harvest(self, scores) -> list[tuple[str, str]]:
+        """Greedy 1-1 extraction above the acceptance threshold."""
+        taken1: set[str] = set()
+        taken2: set[str] = set()
+        alignment = []
+        for (e1, e2), score in sorted(scores.items(), key=lambda kv: -kv[1]):
+            if score < self.config.threshold:
+                break
+            if e1 in taken1 or e2 in taken2:
+                continue
+            taken1.add(e1)
+            taken2.add(e2)
+            alignment.append((e1, e2))
+        return alignment

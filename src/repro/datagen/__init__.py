@@ -1,0 +1,11 @@
+"""Synthetic source-KG generation (substitute for DBpedia/Wikidata/YAGO)."""
+
+from .families import FAMILIES, FamilySpec, benchmark_pair, source_pair
+from .views import ViewConfig, derive_view
+from .world import World, WorldConfig, generate_world, make_vocabulary
+
+__all__ = [
+    "World", "WorldConfig", "generate_world", "make_vocabulary",
+    "ViewConfig", "derive_view",
+    "FAMILIES", "FamilySpec", "source_pair", "benchmark_pair",
+]

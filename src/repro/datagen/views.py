@@ -1,0 +1,193 @@
+"""Derive heterogeneous KG views from a synthetic world.
+
+Each view is one "knowledge graph" of a benchmark pair.  Views introduce
+the heterogeneity axes the paper studies:
+
+* **incompleteness** — each view keeps only a fraction of the world's
+  triples and entities, so the two KGs overlap but differ;
+* **schema heterogeneity** — relations/attributes are renamed per view,
+  either with fresh word names or with Wikidata-style numeric IDs
+  (``P123``), and can be *merged* into a coarse schema (YAGO-style);
+* **language heterogeneity** — literal values are pseudo-translated;
+* **value heterogeneity** — literals are perturbed with a configurable
+  noise rate.
+
+Entity URIs are opaque per-view identifiers: as in the paper (which
+deletes entity labels to avoid "tricky" features), the URI itself carries
+no alignment signal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..kg import KnowledgeGraph
+from ..text import pseudo_translate
+from .world import World
+
+__all__ = ["ViewConfig", "derive_view"]
+
+
+@dataclass
+class ViewConfig:
+    """How one KG view is cut from the world."""
+
+    name: str
+    language: str = "en"
+    entity_prefix: str = "kg"
+    # "translate": world schema names pseudo-translated into the view's
+    #   language (DBpedia-style shared ontology across language editions);
+    # "words": fresh opaque word names (fully heterogeneous schema);
+    # "numeric": Wikidata-style property IDs (P123).
+    schema_naming: str = "translate"
+    entity_keep: float = 0.95
+    triple_keep: float = 0.85
+    attr_keep: float = 0.7
+    value_noise: float = 0.22
+    relation_merge: int | None = None  # collapse schema to <= this many relations
+    attribute_merge: int | None = None
+    drop_descriptions: bool = False
+    # "plain" keeps numeric literals as-is; "decimal" renders them in a
+    # different format ("42" -> "42.0"), the Wikidata-style value
+    # heterogeneity that defeats exact literal matching on D-W.
+    numeric_style: str = "plain"
+    seed: int = 0
+
+
+def _schema_names(
+    items: list[str], config: ViewConfig, kind: str, rng: np.random.Generator
+) -> dict[str, str]:
+    """Per-view renaming of relations or attributes."""
+    merge = config.relation_merge if kind == "rel" else config.attribute_merge
+    if merge is not None and merge < len(items):
+        # YAGO-style coarse schema: many world relations share a view name.
+        # Buckets borrow a representative's (translated) name so the coarse
+        # schema stays lexically meaningful, as YAGO's is.
+        buckets = rng.integers(0, merge, size=len(items))
+        representative: dict[int, str] = {}
+        names: dict[str, str] = {}
+        for item, bucket in zip(items, buckets):
+            bucket = int(bucket)
+            if bucket not in representative:
+                if config.schema_naming == "numeric":
+                    representative[bucket] = _format_name(kind, bucket, config)
+                else:
+                    representative[bucket] = pseudo_translate(item, config.language)
+            names[item] = representative[bucket]
+        return names
+    if config.schema_naming == "translate":
+        return {item: pseudo_translate(item, config.language) for item in items}
+    order = rng.permutation(len(items))
+    return {
+        item: _format_name(kind, int(index), config)
+        for item, index in zip(items, order)
+    }
+
+
+def _format_name(kind: str, index: int, config: ViewConfig) -> str:
+    if config.schema_naming == "numeric":
+        # Wikidata-style opaque property IDs; offset so the two views of a
+        # pair never collide by accident.
+        return f"P{1000 + index}"
+    return f"{config.name}:{kind}{index}"
+
+
+def _perturb_value(value: str, rng: np.random.Generator) -> str:
+    """Symbolic value noise: drop, duplicate or mangle a token."""
+    tokens = value.split(" ")
+    action = rng.random()
+    if action < 0.4 and len(tokens) > 1:
+        tokens.pop(rng.integers(len(tokens)))
+    elif action < 0.7:
+        tokens.append(tokens[rng.integers(len(tokens))])
+    else:
+        position = rng.integers(len(tokens))
+        token = tokens[position]
+        if token:
+            cut = rng.integers(len(token))
+            tokens[position] = token[:cut] + token[cut:][::-1]
+    return " ".join(tokens)
+
+
+def _rewrite_description(value: str, rng: np.random.Generator) -> str:
+    """Per-view rewrite of a long literal: drop and shuffle tokens."""
+    tokens = [t for t in value.split(" ") if rng.random() >= 0.25]
+    if not tokens:
+        tokens = value.split(" ")[:1]
+    if len(tokens) > 2:
+        i, j = rng.integers(len(tokens)), rng.integers(len(tokens))
+        tokens[i], tokens[j] = tokens[j], tokens[i]
+    return " ".join(tokens)
+
+
+def derive_view(world: World, config: ViewConfig) -> tuple[KnowledgeGraph, dict[int, str]]:
+    """Cut one KG view out of ``world``.
+
+    Returns the view and the mapping from world entity id to the view's
+    opaque entity URI (used to build the reference alignment).
+    """
+    # Stable per-view seed: builtin hash() is randomized per process and
+    # would make dataset generation non-reproducible across runs.
+    digest = hashlib.sha256(f"{config.seed}:{config.name}".encode("utf-8")).digest()
+    rng = np.random.default_rng(int.from_bytes(digest[:8], "big"))
+
+    kept_entities = [
+        entity for entity in range(world.n_entities)
+        if rng.random() < config.entity_keep
+    ]
+    kept = set(kept_entities)
+
+    # Opaque, permuted entity identifiers: no string signal across views.
+    permutation = rng.permutation(world.n_entities)
+    uri_of = {
+        entity: f"{config.entity_prefix}/e{int(permutation[entity])}"
+        for entity in kept_entities
+    }
+
+    relation_names = _schema_names(world.relations, config, "rel", rng)
+    attribute_names = _schema_names(world.attributes, config, "attr", rng)
+
+    relation_triples = []
+    for head, relation, tail in world.relation_triples:
+        if head not in kept or tail not in kept:
+            continue
+        if rng.random() >= config.triple_keep:
+            continue
+        relation_triples.append((uri_of[head], relation_names[relation], uri_of[tail]))
+
+    attribute_triples = []
+    for entity, attribute, value in world.attribute_triples:
+        if entity not in kept:
+            continue
+        if attribute == "name":
+            # Entity labels are deleted, following the paper's §3.2: aligned
+            # entities usually carry identical labels, which would become a
+            # "tricky" feature and mask real performance.
+            continue
+        if attribute == "description" and config.drop_descriptions:
+            continue
+        if rng.random() >= config.attr_keep:
+            continue
+        if len(value.split()) >= 5:
+            # Long texts (descriptions) are independently written per KG:
+            # heavy per-view token noise keeps them related, not equal.
+            value = _rewrite_description(value, rng)
+        elif config.value_noise > 0.0 and rng.random() < config.value_noise:
+            value = _perturb_value(value, rng)
+        if config.numeric_style == "decimal":
+            value = " ".join(
+                f"{token}.0" if token.isdigit() else token
+                for token in value.split(" ")
+            )
+        value = pseudo_translate(value, config.language)
+        attribute_triples.append((uri_of[entity], attribute_names[attribute], value))
+
+    kg = KnowledgeGraph(
+        relation_triples=relation_triples,
+        attribute_triples=attribute_triples,
+        name=config.name,
+    )
+    return kg, uri_of

@@ -1,0 +1,46 @@
+"""Embedding module: relation models, losses, negative sampling, GCN."""
+
+from .attribute import AC2Vec, label2vec
+from .base import RelationModel
+from .deep import ConvE, ProjE
+from .gcn import GCNEncoder, normalized_adjacency
+from .losses import LOSSES, limit_based_loss, logistic_loss, margin_ranking_loss
+from .negative_sampling import TruncatedSampler, uniform_corrupt
+from .semantic import ComplEx, DistMult, HolE, RotatE, SimplE, TuckER
+from .translational import TransD, TransE, TransH, TransR
+
+RELATION_MODELS = {
+    "transe": TransE,
+    "transh": TransH,
+    "transr": TransR,
+    "transd": TransD,
+    "distmult": DistMult,
+    "complex": ComplEx,
+    "hole": HolE,
+    "simple": SimplE,
+    "rotate": RotatE,
+    "tucker": TuckER,
+    "proje": ProjE,
+    "conve": ConvE,
+}
+
+
+def get_relation_model(name: str):
+    """Look up a relation model class by its registry name."""
+    try:
+        return RELATION_MODELS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown relation model {name!r}; choose from {sorted(RELATION_MODELS)}"
+        ) from None
+
+
+__all__ = [
+    "RelationModel", "TransE", "TransH", "TransR", "TransD",
+    "DistMult", "ComplEx", "HolE", "SimplE", "RotatE", "TuckER", "ProjE", "ConvE",
+    "GCNEncoder", "normalized_adjacency",
+    "margin_ranking_loss", "logistic_loss", "limit_based_loss", "LOSSES",
+    "uniform_corrupt", "TruncatedSampler",
+    "RELATION_MODELS", "get_relation_model",
+    "AC2Vec", "label2vec",
+]

@@ -1,0 +1,86 @@
+"""Deep relation embedding models: ProjE and ConvE."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Linear, Parameter, Tensor, conv2d, xavier_init
+from .base import RelationModel
+
+__all__ = ["ProjE", "ConvE"]
+
+
+class ProjE(RelationModel):
+    """Shi & Weninger (2017): embedding projection.
+
+    Head and relation are combined through a learned diagonal projection
+    and non-linearity, then matched against the tail:
+    ``score = sum(tanh(d_e o h + d_r o r + b_c) o t)``.
+    """
+
+    def __init__(self, n_entities, n_relations, dim, rng):
+        super().__init__(n_entities, n_relations, dim, rng)
+        self.d_entity = Parameter(np.ones(dim), name="proje.d_entity")
+        self.d_relation = Parameter(np.ones(dim), name="proje.d_relation")
+        self.combine_bias = Parameter(np.zeros(dim), name="proje.bias")
+
+    def score(self, heads, relations, tails) -> Tensor:
+        h = self.entities(heads)
+        r = self.relations(relations)
+        t = self.entities(tails)
+        combined = (self.d_entity * h + self.d_relation * r + self.combine_bias).tanh()
+        return (combined * t).sum(axis=-1)
+
+
+class ConvE(RelationModel):
+    """Dettmers et al. (2018): 2-D convolution over reshaped embeddings.
+
+    Head and relation embeddings are reshaped into 2-D maps, stacked,
+    convolved, projected back to the embedding dimension and matched
+    against the tail.  ``dim`` must factor as ``height * width``.
+    """
+
+    def __init__(self, n_entities, n_relations, dim, rng,
+                 n_filters: int = 4, kernel: int = 3):
+        super().__init__(n_entities, n_relations, dim, rng)
+        self.height, self.width = _factor_2d(dim)
+        self.n_filters = n_filters
+        self.kernel = kernel
+        self.filters = Parameter(
+            xavier_init((n_filters, 1, kernel, kernel), rng), name="conve.filters"
+        )
+        self.filter_bias = Parameter(np.zeros(n_filters), name="conve.filter_bias")
+        conv_h = 2 * self.height - kernel + 1
+        conv_w = self.width - kernel + 1
+        if conv_h <= 0 or conv_w <= 0:
+            raise ValueError(
+                f"dim {dim} reshaped to {self.height}x{self.width} is too small "
+                f"for a {kernel}x{kernel} kernel"
+            )
+        self.project = Linear(n_filters * conv_h * conv_w, dim, rng, name="conve.fc")
+        self.entity_bias = Parameter(np.zeros(n_entities), name="conve.entity_bias")
+
+    def _feature(self, heads, relations) -> Tensor:
+        batch = len(heads)
+        h = self.entities(heads).reshape(batch, 1, self.height, self.width)
+        r = self.relations(relations).reshape(batch, 1, self.height, self.width)
+        from ..autodiff import concat
+
+        stacked = concat([h, r], axis=2)  # (batch, 1, 2H, W)
+        conv = conv2d(stacked, self.filters, self.filter_bias).relu()
+        flat = conv.reshape(batch, -1)
+        return self.project(flat).relu()
+
+    def score(self, heads, relations, tails) -> Tensor:
+        feature = self._feature(heads, relations)
+        t = self.entities(tails)
+        bias = self.entity_bias.gather(np.asarray(tails))
+        return (feature * t).sum(axis=-1) + bias
+
+
+def _factor_2d(dim: int) -> tuple[int, int]:
+    """Most-square factorization of ``dim`` for the ConvE reshape."""
+    height = int(np.sqrt(dim))
+    while height > 1 and dim % height != 0:
+        height -= 1
+    return height, dim // height

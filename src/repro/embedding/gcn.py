@@ -1,0 +1,127 @@
+"""Graph convolutional encoder (neighborhood-based embedding, Eq. 3).
+
+Implements the propagation rule ``H' = sigma(D^-1/2 (A + I) D^-1/2 H W)``
+of Kipf & Welling over a constant sparse adjacency, with an optional
+highway gate between layers (RDGCN's stabilization trick).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from ..autodiff import (
+    Highway,
+    Module,
+    Parameter,
+    Tensor,
+    orthogonal_init,
+    sparse_matmul,
+    xavier_init,
+)
+
+__all__ = ["normalized_adjacency", "GCNEncoder"]
+
+
+def normalized_adjacency(
+    n_nodes: int,
+    edges: list[tuple[int, int]] | np.ndarray,
+    weights: np.ndarray | None = None,
+) -> sparse.csr_matrix:
+    """Symmetric-normalized adjacency with self loops.
+
+    ``edges`` are undirected (each pair is symmetrized); duplicate edges
+    collapse to their summed weight before normalization.
+    """
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    if weights is None:
+        weights = np.ones(len(edges))
+    rows = np.concatenate([edges[:, 0], edges[:, 1], np.arange(n_nodes)])
+    cols = np.concatenate([edges[:, 1], edges[:, 0], np.arange(n_nodes)])
+    vals = np.concatenate([weights, weights, np.ones(n_nodes)])
+    matrix = sparse.csr_matrix((vals, (rows, cols)), shape=(n_nodes, n_nodes))
+    matrix.sum_duplicates()
+    degree = np.asarray(matrix.sum(axis=1)).ravel()
+    inv_sqrt = 1.0 / np.sqrt(np.maximum(degree, 1e-12))
+    scaling = sparse.diags(inv_sqrt)
+    return (scaling @ matrix @ scaling).tocsr()
+
+
+class GCNEncoder(Module):
+    """Multi-layer GCN over a fixed adjacency.
+
+    ``features`` may be a trainable embedding table (structure-only
+    GCNAlign style) or a constant matrix (literal-initialized, RDGCN
+    style) — pass ``trainable_features=False`` for the latter.
+    """
+
+    def __init__(
+        self,
+        adjacency: sparse.csr_matrix,
+        in_dim: int,
+        hidden_dims: list[int],
+        rng: np.random.Generator,
+        activation: str = "tanh",
+        highway: bool = False,
+        features: np.ndarray | None = None,
+        trainable_features: bool = True,
+    ):
+        n = adjacency.shape[0]
+        self.adjacency = adjacency
+        self.activation = activation
+        if features is None:
+            features = xavier_init((n, in_dim), rng)
+        if features.shape != (n, in_dim):
+            raise ValueError(
+                f"features must be ({n}, {in_dim}), got {features.shape}"
+            )
+        if trainable_features:
+            self.features: Parameter | Tensor = Parameter(features, name="gcn.features")
+        else:
+            self.features = Tensor(features)
+        self.weights = []
+        self.gates = []
+        prev = in_dim
+        for i, dim in enumerate(hidden_dims):
+            # Square layers start as rotations so informative input features
+            # (e.g. literal initializations) survive the first epochs.
+            init = orthogonal_init if dim == prev else xavier_init
+            self.weights.append(
+                Parameter(init((prev, dim), rng), name=f"gcn.w{i}")
+            )
+            if highway and dim == prev:
+                self.gates.append(Highway(dim, rng, name=f"gcn.gate{i}"))
+            else:
+                self.gates.append(None)
+            prev = dim
+        self.out_dim = prev
+
+    def _activate(self, x: Tensor) -> Tensor:
+        if self.activation == "tanh":
+            return x.tanh()
+        if self.activation == "relu":
+            return x.relu()
+        raise ValueError(f"unknown activation {self.activation!r}")
+
+    def __call__(self) -> Tensor:
+        hidden = self.features
+        for weight, gate in zip(self.weights, self.gates):
+            propagated = self._activate(sparse_matmul(self.adjacency, hidden) @ weight)
+            if gate is not None:
+                hidden = gate(hidden, propagated)
+            else:
+                hidden = propagated
+        return hidden
+
+    def embeddings(self) -> np.ndarray:
+        """Forward pass without recording gradients."""
+        hidden = self.features.data
+        for weight, gate in zip(self.weights, self.gates):
+            propagated = self.adjacency @ hidden @ weight.data
+            propagated = np.tanh(propagated) if self.activation == "tanh" else np.maximum(propagated, 0)
+            if gate is not None:
+                t = 1.0 / (1.0 + np.exp(-(hidden @ gate.gate.weight.data + gate.gate.bias.data)))
+                hidden = t * propagated + (1.0 - t) * hidden
+            else:
+                hidden = propagated
+        return hidden

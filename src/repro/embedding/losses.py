@@ -1,0 +1,52 @@
+"""Loss functions of the embedding module (Figure 4).
+
+All losses are expressed over *scores* (higher = more plausible triple),
+matching the convention of :mod:`repro.embedding.models`.  Energy-based
+formulations from the papers map onto this via ``score = -energy``.
+"""
+
+from __future__ import annotations
+
+from ..autodiff import Tensor
+
+__all__ = ["margin_ranking_loss", "logistic_loss", "limit_based_loss", "LOSSES"]
+
+
+def margin_ranking_loss(
+    positive: Tensor, negative: Tensor, margin: float = 1.5
+) -> Tensor:
+    """TransE's marginal ranking loss: ``relu(margin - pos + neg)``.
+
+    ``negative`` may hold several negatives per positive; shapes broadcast.
+    """
+    return (margin - positive + negative).relu().mean()
+
+
+def logistic_loss(positive: Tensor, negative: Tensor) -> Tensor:
+    """Logistic loss used by HolE/ComplEx: ``softplus(-pos) + softplus(neg)``."""
+    return (-positive).softplus().mean() + negative.softplus().mean()
+
+
+def limit_based_loss(
+    positive: Tensor,
+    negative: Tensor,
+    pos_limit: float = -0.2,
+    neg_limit: float = -2.0,
+    balance: float = 0.8,
+) -> Tensor:
+    """Limit-based loss (BootEA, Zhou et al.): absolute score limits.
+
+    Positives are pushed above ``pos_limit`` and negatives below
+    ``neg_limit`` (both are *scores*, i.e. negated energies), decoupling
+    the two sides instead of only separating them by a margin.
+    """
+    positive_term = (pos_limit - positive).relu().mean()
+    negative_term = (negative - neg_limit).relu().mean()
+    return positive_term + balance * negative_term
+
+
+LOSSES = {
+    "marginal": margin_ranking_loss,
+    "logistic": logistic_loss,
+    "limited": limit_based_loss,
+}

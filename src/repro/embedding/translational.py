@@ -1,0 +1,107 @@
+"""Translational relation embedding models: TransE, TransH, TransR, TransD."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Parameter, Tensor, unit_init, xavier_init
+from .base import RelationModel
+
+__all__ = ["TransE", "TransH", "TransR", "TransD"]
+
+
+class TransE(RelationModel):
+    """Bordes et al. (2013): relations as translations, ``h + r ≈ t``.
+
+    Score is the negated L1 or L2 distance ``-||h + r - t||`` (Eq. 1).
+    """
+
+    def __init__(self, n_entities, n_relations, dim, rng, norm: str = "L2"):
+        super().__init__(n_entities, n_relations, dim, rng, initializer=unit_init)
+        if norm not in ("L1", "L2"):
+            raise ValueError(f"norm must be 'L1' or 'L2', got {norm!r}")
+        self.norm = norm
+
+    def _distance(self, delta: Tensor) -> Tensor:
+        if self.norm == "L1":
+            return delta.abs().sum(axis=-1)
+        return delta.norm(axis=-1)
+
+    def score(self, heads, relations, tails) -> Tensor:
+        h = self.entities(heads)
+        r = self.relations(relations)
+        t = self.entities(tails)
+        return -self._distance(h + r - t)
+
+
+class TransH(RelationModel):
+    """Wang et al. (2014): translation on relation-specific hyperplanes.
+
+    Entities are projected onto the hyperplane with normal ``w_r`` before
+    translating, which lets one entity take different roles under
+    multi-mapping relations — the weakness of TransE that §5.2 discusses.
+    """
+
+    def __init__(self, n_entities, n_relations, dim, rng):
+        super().__init__(n_entities, n_relations, dim, rng, initializer=unit_init)
+        self.normals = Parameter(unit_init((n_relations, dim), rng), name="normals")
+
+    def score(self, heads, relations, tails) -> Tensor:
+        h = self.entities(heads)
+        r = self.relations(relations)
+        t = self.entities(tails)
+        w = self.normals.gather(np.asarray(relations)).l2_normalize(axis=-1)
+        h_proj = h - (h * w).sum(axis=-1, keepdims=True) * w
+        t_proj = t - (t * w).sum(axis=-1, keepdims=True) * w
+        return -(h_proj + r - t_proj).norm(axis=-1)
+
+
+class TransR(RelationModel):
+    """Lin et al. (2015): a projection matrix per relation.
+
+    §6.2 observes TransR needs *relation alignment* to transfer alignment
+    signal between KGs and collapses without it — reproduced here.
+    """
+
+    def __init__(self, n_entities, n_relations, dim, rng):
+        super().__init__(n_entities, n_relations, dim, rng, initializer=unit_init)
+        matrices = np.stack([np.eye(dim) for _ in range(n_relations)])
+        matrices += 0.05 * rng.normal(size=matrices.shape)
+        self.matrices = Parameter(matrices, name="rel_matrices")
+
+    def score(self, heads, relations, tails) -> Tensor:
+        h = self.entities(heads)
+        r = self.relations(relations)
+        t = self.entities(tails)
+        m = self.matrices.gather(np.asarray(relations))  # (batch, dim, dim)
+        h_proj = (h.reshape(len(heads), 1, self.dim) @ m).reshape(len(heads), self.dim)
+        t_proj = (t.reshape(len(tails), 1, self.dim) @ m).reshape(len(tails), self.dim)
+        return -(h_proj + r - t_proj).norm(axis=-1)
+
+
+class TransD(RelationModel):
+    """Ji et al. (2015): dynamic mapping from entity/relation projection
+    vectors, ``h_perp = h + (h_p . h) r_p`` (the equal-dimension case)."""
+
+    def __init__(self, n_entities, n_relations, dim, rng):
+        super().__init__(n_entities, n_relations, dim, rng, initializer=unit_init)
+        self.entity_proj = Parameter(
+            xavier_init((n_entities, dim), rng), name="entity_proj"
+        )
+        self.relation_proj = Parameter(
+            xavier_init((n_relations, dim), rng), name="relation_proj"
+        )
+
+    def score(self, heads, relations, tails) -> Tensor:
+        heads = np.asarray(heads)
+        relations = np.asarray(relations)
+        tails = np.asarray(tails)
+        h = self.entities(heads)
+        r = self.relations(relations)
+        t = self.entities(tails)
+        h_p = self.entity_proj.gather(heads)
+        t_p = self.entity_proj.gather(tails)
+        r_p = self.relation_proj.gather(relations)
+        h_proj = h + (h_p * h).sum(axis=-1, keepdims=True) * r_p
+        t_proj = t + (t_p * t).sum(axis=-1, keepdims=True) * r_p
+        return -(h_proj + r - t_proj).norm(axis=-1)

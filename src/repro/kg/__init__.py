@@ -1,0 +1,31 @@
+"""Knowledge-graph data model, statistics and OpenEA-format I/O."""
+
+from .graph import EntityIndex, KnowledgeGraph
+from .io import (
+    load_pair,
+    load_splits,
+    read_links,
+    read_triples,
+    save_pair,
+    save_splits,
+    write_links,
+    write_triples,
+)
+from .pair import AlignmentSplit, KGPair
+from .validate import ValidationReport, validate_pair
+from .stats import (
+    clustering_coefficient,
+    dataset_summary,
+    degree_distribution,
+    isolated_entity_ratio,
+    js_divergence,
+)
+
+__all__ = [
+    "KnowledgeGraph", "EntityIndex", "KGPair", "AlignmentSplit",
+    "read_triples", "write_triples", "read_links", "write_links",
+    "save_pair", "load_pair", "save_splits", "load_splits",
+    "ValidationReport", "validate_pair",
+    "degree_distribution", "js_divergence", "isolated_entity_ratio",
+    "clustering_coefficient", "dataset_summary",
+]

@@ -1,0 +1,231 @@
+"""Knowledge-graph data model.
+
+A :class:`KnowledgeGraph` stores facts as *relation triples*
+``(subject entity, relation, object entity)`` and *attribute triples*
+``(subject entity, attribute, literal value)`` — the two fact types the
+paper's Section 1 defines.  All identifiers are strings (URIs or local
+names); integer indexing for the embedding models is provided by
+:class:`EntityIndex`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = ["KnowledgeGraph", "EntityIndex"]
+
+RelationTriple = tuple[str, str, str]
+AttributeTriple = tuple[str, str, str]
+
+
+@dataclass
+class KnowledgeGraph:
+    """An entity-relation-attribute graph.
+
+    Parameters
+    ----------
+    relation_triples:
+        ``(head_entity, relation, tail_entity)`` facts.
+    attribute_triples:
+        ``(entity, attribute, literal_value)`` facts.
+    name:
+        Human-readable label (e.g. ``"EN"`` or ``"DBpedia"``).
+    """
+
+    relation_triples: list[RelationTriple] = field(default_factory=list)
+    attribute_triples: list[AttributeTriple] = field(default_factory=list)
+    name: str = "KG"
+
+    def __post_init__(self):
+        self.relation_triples = [tuple(t) for t in self.relation_triples]
+        self.attribute_triples = [tuple(t) for t in self.attribute_triples]
+        self._invalidate()
+
+    # ------------------------------------------------------------------
+    # caches
+    # ------------------------------------------------------------------
+    def _invalidate(self) -> None:
+        self._entities: frozenset[str] | None = None
+        self._degrees: dict[str, int] | None = None
+        self._adjacency: dict[str, set[str]] | None = None
+
+    @property
+    def entities(self) -> frozenset[str]:
+        """All entities appearing in relation or attribute triples."""
+        if self._entities is None:
+            found: set[str] = set()
+            for head, _, tail in self.relation_triples:
+                found.add(head)
+                found.add(tail)
+            for entity, _, _ in self.attribute_triples:
+                found.add(entity)
+            self._entities = frozenset(found)
+        return self._entities
+
+    @property
+    def relations(self) -> frozenset[str]:
+        return frozenset(r for _, r, _ in self.relation_triples)
+
+    @property
+    def attributes(self) -> frozenset[str]:
+        return frozenset(a for _, a, _ in self.attribute_triples)
+
+    @property
+    def num_entities(self) -> int:
+        return len(self.entities)
+
+    def __repr__(self) -> str:
+        return (
+            f"KnowledgeGraph(name={self.name!r}, entities={self.num_entities}, "
+            f"rel_triples={len(self.relation_triples)}, "
+            f"attr_triples={len(self.attribute_triples)})"
+        )
+
+    # ------------------------------------------------------------------
+    # structure accessors
+    # ------------------------------------------------------------------
+    def degrees(self) -> dict[str, int]:
+        """Relation-triple degree of every entity (paper's Figure 2 metric).
+
+        Entities that appear only in attribute triples get degree 0.
+        """
+        if self._degrees is None:
+            counts: Counter[str] = Counter()
+            for head, _, tail in self.relation_triples:
+                counts[head] += 1
+                counts[tail] += 1
+            # sorted iteration: set order is process-randomized for strings
+            # and would leak into any consumer that iterates this dict
+            self._degrees = {e: counts.get(e, 0) for e in sorted(self.entities)}
+        return self._degrees
+
+    def degree(self, entity: str) -> int:
+        return self.degrees().get(entity, 0)
+
+    def average_degree(self) -> float:
+        """Average relation degree over entities appearing in relation triples."""
+        degs = [d for d in self.degrees().values() if d > 0]
+        if not degs:
+            return 0.0
+        return sum(degs) / len(degs)
+
+    def adjacency(self) -> dict[str, set[str]]:
+        """Undirected entity adjacency from relation triples."""
+        if self._adjacency is None:
+            adj: dict[str, set[str]] = defaultdict(set)
+            for head, _, tail in self.relation_triples:
+                if head != tail:
+                    adj[head].add(tail)
+                    adj[tail].add(head)
+            self._adjacency = dict(adj)
+        return self._adjacency
+
+    def neighbors(self, entity: str) -> set[str]:
+        return self.adjacency().get(entity, set())
+
+    def attribute_triples_of(self, entity: str) -> list[AttributeTriple]:
+        return [t for t in self.attribute_triples if t[0] == entity]
+
+    def entity_attributes(self) -> dict[str, list[tuple[str, str]]]:
+        """Map each entity to its ``(attribute, value)`` pairs."""
+        result: dict[str, list[tuple[str, str]]] = defaultdict(list)
+        for entity, attribute, value in self.attribute_triples:
+            result[entity].append((attribute, value))
+        return dict(result)
+
+    def multi_mapping_relation_entities(self) -> frozenset[str]:
+        """Entities involved in 1-to-N / N-to-1 / N-to-N relations.
+
+        The paper (§5.2) measures the proportion of entities that take part
+        in a relation appearing with several tails for the same head (or
+        several heads for the same tail).
+        """
+        head_rel_tails: dict[tuple[str, str], set[str]] = defaultdict(set)
+        tail_rel_heads: dict[tuple[str, str], set[str]] = defaultdict(set)
+        for head, relation, tail in self.relation_triples:
+            head_rel_tails[(head, relation)].add(tail)
+            tail_rel_heads[(tail, relation)].add(head)
+        involved: set[str] = set()
+        for (head, _), tails in head_rel_tails.items():
+            if len(tails) > 1:
+                involved.add(head)
+                involved.update(tails)
+        for (tail, _), heads in tail_rel_heads.items():
+            if len(heads) > 1:
+                involved.add(tail)
+                involved.update(heads)
+        return frozenset(involved)
+
+    # ------------------------------------------------------------------
+    # derivation
+    # ------------------------------------------------------------------
+    def filtered(self, entities: Iterable[str], name: str | None = None) -> "KnowledgeGraph":
+        """Subgraph induced by ``entities``.
+
+        Relation triples are kept when *both* endpoints remain; attribute
+        triples when the subject remains (the convention of the paper's
+        sampling procedure).
+        """
+        keep = set(entities)
+        return KnowledgeGraph(
+            relation_triples=[
+                t for t in self.relation_triples if t[0] in keep and t[2] in keep
+            ],
+            attribute_triples=[t for t in self.attribute_triples if t[0] in keep],
+            name=name if name is not None else self.name,
+        )
+
+    def without_attributes(self) -> "KnowledgeGraph":
+        """Copy with attribute triples dropped (feature-study ablation)."""
+        return KnowledgeGraph(
+            relation_triples=list(self.relation_triples),
+            attribute_triples=[],
+            name=self.name,
+        )
+
+    def without_relations(self) -> "KnowledgeGraph":
+        """Copy with relation triples dropped (feature-study ablation)."""
+        return KnowledgeGraph(
+            relation_triples=[],
+            attribute_triples=list(self.attribute_triples),
+            name=self.name,
+        )
+
+
+class EntityIndex:
+    """Bidirectional mapping between string identifiers and dense ints."""
+
+    def __init__(self, items: Iterable[str] = ()):
+        self._to_id: dict[str, int] = {}
+        self._to_item: list[str] = []
+        for item in items:
+            self.add(item)
+
+    def add(self, item: str) -> int:
+        existing = self._to_id.get(item)
+        if existing is not None:
+            return existing
+        index = len(self._to_item)
+        self._to_id[item] = index
+        self._to_item.append(item)
+        return index
+
+    def id_of(self, item: str) -> int:
+        return self._to_id[item]
+
+    def item_of(self, index: int) -> str:
+        return self._to_item[index]
+
+    def __contains__(self, item: str) -> bool:
+        return item in self._to_id
+
+    def __len__(self) -> int:
+        return len(self._to_item)
+
+    def ids(self, items: Iterable[str]) -> list[int]:
+        return [self._to_id[item] for item in items]
+
+    def items(self) -> list[str]:
+        return list(self._to_item)

@@ -1,0 +1,132 @@
+"""OpenEA-format dataset I/O.
+
+The released OpenEA datasets use tab-separated files::
+
+    rel_triples_1 / rel_triples_2     head \t relation \t tail
+    attr_triples_1 / attr_triples_2   entity \t attribute \t value
+    ent_links                         entity1 \t entity2
+    721_5fold/<k>/train_links, valid_links, test_links
+
+This module reads and writes that layout so datasets generated here are
+interchangeable with the published ones.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .graph import KnowledgeGraph
+from .pair import AlignmentSplit, KGPair
+
+__all__ = [
+    "read_triples",
+    "write_triples",
+    "read_links",
+    "write_links",
+    "save_pair",
+    "load_pair",
+    "save_splits",
+    "load_splits",
+]
+
+
+def read_triples(path: Path | str) -> list[tuple[str, str, str]]:
+    """Read tab-separated triples; blank lines are skipped."""
+    triples: list[tuple[str, str, str]] = []
+    with open(path, encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                raise ValueError(f"{path}:{line_no}: expected 3 fields, got {len(parts)}")
+            triples.append((parts[0], parts[1], parts[2]))
+    return triples
+
+
+def write_triples(path: Path | str, triples: list[tuple[str, str, str]]) -> None:
+    """Write tab-separated triples, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        for head, relation, tail in triples:
+            handle.write(f"{head}\t{relation}\t{tail}\n")
+
+
+def read_links(path: Path | str) -> list[tuple[str, str]]:
+    """Read tab-separated entity alignment links."""
+    links: list[tuple[str, str]] = []
+    with open(path, encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            parts = line.split("\t")
+            if len(parts) != 2:
+                raise ValueError(f"{path}:{line_no}: expected 2 fields, got {len(parts)}")
+            links.append((parts[0], parts[1]))
+    return links
+
+
+def write_links(path: Path | str, links: list[tuple[str, str]]) -> None:
+    """Write tab-separated entity alignment links."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        for left, right in links:
+            handle.write(f"{left}\t{right}\n")
+
+
+def save_pair(pair: KGPair, directory: Path | str) -> None:
+    """Write a :class:`KGPair` in the OpenEA directory layout."""
+    directory = Path(directory)
+    write_triples(directory / "rel_triples_1", pair.kg1.relation_triples)
+    write_triples(directory / "rel_triples_2", pair.kg2.relation_triples)
+    write_triples(directory / "attr_triples_1", pair.kg1.attribute_triples)
+    write_triples(directory / "attr_triples_2", pair.kg2.attribute_triples)
+    write_links(directory / "ent_links", pair.alignment)
+
+
+def load_pair(directory: Path | str, name: str | None = None) -> KGPair:
+    """Load a :class:`KGPair` from the OpenEA directory layout."""
+    directory = Path(directory)
+    return KGPair(
+        kg1=KnowledgeGraph(
+            relation_triples=read_triples(directory / "rel_triples_1"),
+            attribute_triples=read_triples(directory / "attr_triples_1"),
+            name="KG1",
+        ),
+        kg2=KnowledgeGraph(
+            relation_triples=read_triples(directory / "rel_triples_2"),
+            attribute_triples=read_triples(directory / "attr_triples_2"),
+            name="KG2",
+        ),
+        alignment=read_links(directory / "ent_links"),
+        name=name if name is not None else directory.name,
+    )
+
+
+def save_splits(splits: list[AlignmentSplit], directory: Path | str) -> None:
+    """Write 5-fold splits under ``<directory>/721_5fold/<fold>/``."""
+    directory = Path(directory) / "721_5fold"
+    for fold, split in enumerate(splits, start=1):
+        fold_dir = directory / str(fold)
+        write_links(fold_dir / "train_links", split.train)
+        write_links(fold_dir / "valid_links", split.valid)
+        write_links(fold_dir / "test_links", split.test)
+
+
+def load_splits(directory: Path | str) -> list[AlignmentSplit]:
+    """Load all folds found under ``<directory>/721_5fold/``."""
+    directory = Path(directory) / "721_5fold"
+    splits: list[AlignmentSplit] = []
+    for fold_dir in sorted(directory.iterdir(), key=lambda p: int(p.name)):
+        splits.append(
+            AlignmentSplit(
+                train=read_links(fold_dir / "train_links"),
+                valid=read_links(fold_dir / "valid_links"),
+                test=read_links(fold_dir / "test_links"),
+            )
+        )
+    return splits

@@ -1,0 +1,149 @@
+"""A pair of knowledge graphs with reference entity alignment.
+
+This is the unit every dataset in the paper consists of: two KGs plus the
+1-to-1 reference alignment between their entity sets, split into five folds
+for cross-validation (20% train / 10% validation / 70% test per run,
+following §5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .graph import KnowledgeGraph
+
+__all__ = ["KGPair", "AlignmentSplit"]
+
+Alignment = list[tuple[str, str]]
+
+
+@dataclass
+class AlignmentSplit:
+    """Train/validation/test partition of the reference alignment."""
+
+    train: Alignment
+    valid: Alignment
+    test: Alignment
+
+    def __post_init__(self):
+        self.train = [tuple(p) for p in self.train]
+        self.valid = [tuple(p) for p in self.valid]
+        self.test = [tuple(p) for p in self.test]
+
+    @property
+    def total(self) -> int:
+        return len(self.train) + len(self.valid) + len(self.test)
+
+
+@dataclass
+class KGPair:
+    """Two KGs and their reference alignment.
+
+    The default alignment direction follows the paper: ``kg1`` is the
+    source and ``kg2`` the target.
+    """
+
+    kg1: KnowledgeGraph
+    kg2: KnowledgeGraph
+    alignment: Alignment = field(default_factory=list)
+    name: str = "pair"
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.alignment = [tuple(p) for p in self.alignment]
+        seen1 = {a for a, _ in self.alignment}
+        seen2 = {b for _, b in self.alignment}
+        if len(seen1) != len(self.alignment) or len(seen2) != len(self.alignment):
+            raise ValueError("reference alignment must be a 1-to-1 mapping")
+
+    def __repr__(self) -> str:
+        return (
+            f"KGPair(name={self.name!r}, |KG1|={self.kg1.num_entities}, "
+            f"|KG2|={self.kg2.num_entities}, alignment={len(self.alignment)})"
+        )
+
+    # ------------------------------------------------------------------
+    # splits
+    # ------------------------------------------------------------------
+    def five_fold_splits(self, seed: int = 0) -> list[AlignmentSplit]:
+        """Paper §5.1: five disjoint folds, each fold = 20% training data;
+        of the remainder, 10% validation and 70% test."""
+        rng = np.random.default_rng(seed)
+        pairs = list(self.alignment)
+        order = rng.permutation(len(pairs))
+        shuffled = [pairs[i] for i in order]
+        n = len(shuffled)
+        fold_size = n // 5
+        splits: list[AlignmentSplit] = []
+        for k in range(5):
+            start, stop = k * fold_size, (k + 1) * fold_size if k < 4 else n
+            train = shuffled[start:stop]
+            rest = shuffled[:start] + shuffled[stop:]
+            # 10% of the total for validation, the remaining ~70% for test.
+            valid_size = max(1, n // 10)
+            splits.append(
+                AlignmentSplit(
+                    train=train, valid=rest[:valid_size], test=rest[valid_size:]
+                )
+            )
+        return splits
+
+    def split(self, train_ratio: float = 0.2, valid_ratio: float = 0.1,
+              seed: int = 0) -> AlignmentSplit:
+        """A single random split with the given ratios."""
+        if train_ratio + valid_ratio >= 1.0:
+            raise ValueError("train_ratio + valid_ratio must be < 1")
+        rng = np.random.default_rng(seed)
+        pairs = list(self.alignment)
+        order = rng.permutation(len(pairs))
+        shuffled = [pairs[i] for i in order]
+        n = len(shuffled)
+        n_train = max(1, int(round(n * train_ratio)))
+        n_valid = max(1, int(round(n * valid_ratio)))
+        return AlignmentSplit(
+            train=shuffled[:n_train],
+            valid=shuffled[n_train:n_train + n_valid],
+            test=shuffled[n_train + n_valid:],
+        )
+
+    # ------------------------------------------------------------------
+    # derivation
+    # ------------------------------------------------------------------
+    def restricted_to_alignment(self) -> "KGPair":
+        """Keep only the entities that participate in the reference
+        alignment (Algorithm 1, line 1)."""
+        keep1 = {a for a, _ in self.alignment}
+        keep2 = {b for _, b in self.alignment}
+        return KGPair(
+            kg1=self.kg1.filtered(keep1),
+            kg2=self.kg2.filtered(keep2),
+            alignment=list(self.alignment),
+            name=self.name,
+            metadata=dict(self.metadata),
+        )
+
+    def without_attributes(self) -> "KGPair":
+        return KGPair(
+            kg1=self.kg1.without_attributes(),
+            kg2=self.kg2.without_attributes(),
+            alignment=list(self.alignment),
+            name=f"{self.name}(rel-only)",
+            metadata=dict(self.metadata),
+        )
+
+    def without_relations(self) -> "KGPair":
+        return KGPair(
+            kg1=self.kg1.without_relations(),
+            kg2=self.kg2.without_relations(),
+            alignment=list(self.alignment),
+            name=f"{self.name}(attr-only)",
+            metadata=dict(self.metadata),
+        )
+
+    def alignment_degree(self, pair: tuple[str, str]) -> int:
+        """Paper Figure 5: degree of an alignment = sum of the relation
+        triples of its two entities."""
+        e1, e2 = pair
+        return self.kg1.degree(e1) + self.kg2.degree(e2)

@@ -1,0 +1,104 @@
+"""Dataset validation: the invariants a benchmark KG pair must satisfy.
+
+Used by the CLI after generation and by downstream consumers of datasets
+from disk.  Mirrors the quality criteria of the paper's §3.3: a usable
+dataset needs a 1-to-1 reference alignment whose entities actually exist
+and carry structure, and should not be dominated by isolated entities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .pair import KGPair
+from .stats import isolated_entity_ratio
+
+__all__ = ["ValidationReport", "validate_pair"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_pair`."""
+
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def __str__(self) -> str:
+        if self.ok and not self.warnings:
+            return "dataset OK"
+        lines = [f"ERROR: {e}" for e in self.errors]
+        lines += [f"warning: {w}" for w in self.warnings]
+        return "\n".join(lines)
+
+
+def validate_pair(
+    pair: KGPair,
+    max_isolated: float = 0.05,
+    min_alignment: int = 10,
+) -> ValidationReport:
+    """Check a KG pair's benchmark invariants.
+
+    Errors (dataset unusable):
+      * alignment not 1-to-1 (enforced by ``KGPair`` itself, re-checked),
+      * alignment references entities missing from the KGs,
+      * empty alignment or empty KGs.
+
+    Warnings (dataset degraded):
+      * isolated-entity ratio above ``max_isolated`` (Table 3's concern),
+      * fewer than ``min_alignment`` aligned pairs,
+      * entities present in a KG but unreachable from the alignment.
+    """
+    report = ValidationReport()
+
+    if not pair.alignment:
+        report.errors.append("reference alignment is empty")
+        return report
+    if not pair.kg1.relation_triples and not pair.kg1.attribute_triples:
+        report.errors.append("KG1 has no triples")
+    if not pair.kg2.relation_triples and not pair.kg2.attribute_triples:
+        report.errors.append("KG2 has no triples")
+
+    lefts = [a for a, _ in pair.alignment]
+    rights = [b for _, b in pair.alignment]
+    if len(set(lefts)) != len(lefts) or len(set(rights)) != len(rights):
+        report.errors.append("reference alignment is not 1-to-1")
+
+    ent1, ent2 = pair.kg1.entities, pair.kg2.entities
+    missing1 = [a for a in lefts if a not in ent1]
+    missing2 = [b for b in rights if b not in ent2]
+    if missing1:
+        report.errors.append(
+            f"{len(missing1)} aligned entities missing from KG1 "
+            f"(e.g. {missing1[0]!r})"
+        )
+    if missing2:
+        report.errors.append(
+            f"{len(missing2)} aligned entities missing from KG2 "
+            f"(e.g. {missing2[0]!r})"
+        )
+
+    if len(pair.alignment) < min_alignment:
+        report.warnings.append(
+            f"only {len(pair.alignment)} aligned pairs (< {min_alignment})"
+        )
+    for side, kg in (("KG1", pair.kg1), ("KG2", pair.kg2)):
+        ratio = isolated_entity_ratio(kg)
+        if ratio > max_isolated:
+            report.warnings.append(
+                f"{side} has {ratio:.1%} isolated entities (> {max_isolated:.0%})"
+            )
+    unaligned1 = len(ent1) - len(set(lefts) & ent1)
+    unaligned2 = len(ent2) - len(set(rights) & ent2)
+    if unaligned1 > 0.5 * len(ent1):
+        report.warnings.append(
+            f"KG1 has {unaligned1} entities outside the alignment"
+        )
+    if unaligned2 > 0.5 * len(ent2):
+        report.warnings.append(
+            f"KG2 has {unaligned2} entities outside the alignment"
+        )
+    return report

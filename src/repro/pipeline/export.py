@@ -1,0 +1,64 @@
+"""Result export in the paper's release format.
+
+The paper publishes "the experimental results on five folds of each
+dataset using all the metrics ... in the CSV format"; this module writes
+the same artifact from :class:`~repro.pipeline.runner.CVResult` objects.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from .runner import CVResult
+
+__all__ = ["export_csv", "export_fold_csv"]
+
+_METRICS = ("hits@1", "hits@5", "hits@10", "mr", "mrr")
+
+
+def export_csv(results: list[CVResult], path: Path | str) -> None:
+    """One row per (approach, dataset): mean and std of every metric."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        header = ["approach", "dataset", "folds", "train_seconds"]
+        for metric in _METRICS:
+            header += [f"{metric}_mean", f"{metric}_std"]
+        writer.writerow(header)
+        for result in results:
+            row = [result.name, result.dataset, len(result.folds),
+                   f"{result.train_seconds:.3f}"]
+            for metric in _METRICS:
+                try:
+                    mean, std = result.mean_std(metric)
+                except KeyError:  # metric not recorded on this run
+                    mean, std = float("nan"), float("nan")
+                row += [f"{mean:.6f}", f"{std:.6f}"]
+            writer.writerow(row)
+
+
+def export_fold_csv(results: list[CVResult], path: Path | str) -> None:
+    """One row per (approach, dataset, fold): the raw per-fold metrics."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["approach", "dataset", "fold", "hits@1", "hits@5", "hits@10",
+             "mr", "mrr", "train_seconds", "epochs"]
+        )
+        for result in results:
+            for fold_index, fold in enumerate(result.folds, start=1):
+                metrics = fold.metrics
+                writer.writerow([
+                    result.name, result.dataset, fold_index,
+                    f"{metrics.hits.get(1, float('nan')):.6f}",
+                    f"{metrics.hits.get(5, float('nan')):.6f}",
+                    f"{metrics.hits.get(10, float('nan')):.6f}",
+                    f"{metrics.mr:.3f}",
+                    f"{metrics.mrr:.6f}",
+                    f"{fold.seconds:.3f}",
+                    fold.log.epochs_run,
+                ])

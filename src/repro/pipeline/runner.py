@@ -1,0 +1,102 @@
+"""Cross-validation runner (§5.1's experimental protocol).
+
+Runs an approach factory over the five folds of a dataset, aggregates
+metrics as ``mean ± std`` and records wall-clock training time — the
+numbers Table 5 and Figure 8 report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..alignment.evaluate import RankMetrics
+from ..approaches.base import EmbeddingApproach, TrainingLog
+from ..kg import AlignmentSplit, KGPair
+
+__all__ = ["FoldResult", "CVResult", "run_fold", "cross_validate"]
+
+
+@dataclass
+class FoldResult:
+    """Outcome of one fold."""
+
+    metrics: RankMetrics
+    log: TrainingLog
+    seconds: float
+    approach: EmbeddingApproach
+
+
+@dataclass
+class CVResult:
+    """Aggregated cross-validation outcome."""
+
+    name: str
+    dataset: str
+    folds: list[FoldResult] = field(default_factory=list)
+
+    def _values(self, getter) -> np.ndarray:
+        return np.array([getter(fold) for fold in self.folds])
+
+    def mean_std(self, metric: str) -> tuple[float, float]:
+        """``metric`` is ``hits@K``, ``mr`` or ``mrr``."""
+        if metric.startswith("hits@"):
+            k = int(metric.split("@")[1])
+            values = self._values(lambda f: f.metrics.hits_at(k))
+        elif metric == "mr":
+            values = self._values(lambda f: f.metrics.mr)
+        elif metric == "mrr":
+            values = self._values(lambda f: f.metrics.mrr)
+        else:
+            raise KeyError(f"unknown metric {metric!r}")
+        return float(values.mean()), float(values.std())
+
+    @property
+    def train_seconds(self) -> float:
+        return float(self._values(lambda f: f.seconds).mean())
+
+    def format(self, metrics: tuple[str, ...] = ("hits@1", "hits@5", "mrr")) -> str:
+        cells = []
+        for metric in metrics:
+            mean, std = self.mean_std(metric)
+            cells.append(f"{metric}={mean:.3f}±{std:.3f}")
+        return f"{self.name:9s} {self.dataset:18s} " + " ".join(cells)
+
+
+def run_fold(
+    factory: Callable[[], EmbeddingApproach],
+    pair: KGPair,
+    split: AlignmentSplit,
+    hits_at: tuple[int, ...] = (1, 5, 10),
+) -> FoldResult:
+    """Train on one fold and evaluate on its test pairs."""
+    approach = factory()
+    started = time.perf_counter()
+    log = approach.fit(pair, split)
+    seconds = time.perf_counter() - started
+    metrics = approach.evaluate(split.test, hits_at=hits_at)
+    return FoldResult(metrics=metrics, log=log, seconds=seconds, approach=approach)
+
+
+def cross_validate(
+    factory: Callable[[], EmbeddingApproach],
+    pair: KGPair,
+    n_folds: int = 5,
+    hits_at: tuple[int, ...] = (1, 5, 10),
+    name: str | None = None,
+    seed: int = 0,
+) -> CVResult:
+    """The paper's 5-fold protocol (``n_folds`` may be reduced for speed)."""
+    if not 1 <= n_folds <= 5:
+        raise ValueError("n_folds must be between 1 and 5")
+    splits = pair.five_fold_splits(seed=seed)[:n_folds]
+    if name is None:
+        probe = factory()
+        name = probe.info.name
+    result = CVResult(name=name, dataset=pair.name)
+    for split in splits:
+        result.folds.append(run_fold(factory, pair, split, hits_at=hits_at))
+    return result

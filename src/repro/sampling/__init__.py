@@ -1,0 +1,10 @@
+"""Dataset sampling: IDS (Algorithm 1), baselines and PageRank."""
+
+from .baselines import degree_biased_sample, prs_sample, ras_sample
+from .ids import IDSResult, ids_sample
+from .pagerank import pagerank
+
+__all__ = [
+    "ids_sample", "IDSResult", "ras_sample", "prs_sample",
+    "degree_biased_sample", "pagerank",
+]

@@ -1,0 +1,60 @@
+"""PageRank over a :class:`~repro.kg.graph.KnowledgeGraph`.
+
+IDS (Algorithm 1, line 8) weights entity-deletion probabilities by
+PageRank so that structurally influential entities survive sampling.
+Implemented as plain power iteration on the undirected entity structure;
+the test suite checks it against networkx.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from ..kg import KnowledgeGraph
+
+__all__ = ["pagerank"]
+
+
+def pagerank(
+    kg: KnowledgeGraph,
+    damping: float = 0.85,
+    tol: float = 1e-8,
+    max_iter: int = 100,
+) -> dict[str, float]:
+    """PageRank scores for every entity of ``kg`` (sums to 1).
+
+    Uses the undirected relation structure with uniform teleportation;
+    dangling (isolated) entities redistribute their mass uniformly, the
+    standard convention.
+    """
+    entities = sorted(kg.entities)
+    n = len(entities)
+    if n == 0:
+        return {}
+    index = {entity: i for i, entity in enumerate(entities)}
+    adjacency = kg.adjacency()
+    rows: list[int] = []
+    cols: list[int] = []
+    for entity in entities:
+        i = index[entity]
+        for neighbor in adjacency.get(entity, ()):
+            rows.append(index[neighbor])
+            cols.append(i)
+    matrix = sparse.csr_matrix(
+        (np.ones(len(rows)), (rows, cols)), shape=(n, n)
+    )
+    out_degree = np.asarray(matrix.sum(axis=0)).ravel()
+    dangling = out_degree == 0
+
+    rank = np.full(n, 1.0 / n)
+    for _ in range(max_iter):
+        contribution = np.where(dangling, 0.0, rank / np.maximum(out_degree, 1.0))
+        new_rank = matrix @ contribution
+        dangling_mass = rank[dangling].sum()
+        new_rank = (1.0 - damping) / n + damping * (new_rank + dangling_mass / n)
+        if np.abs(new_rank - rank).sum() < tol:
+            rank = new_rank
+            break
+        rank = new_rank
+    return {entity: float(rank[index[entity]]) for entity in entities}

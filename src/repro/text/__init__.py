@@ -1,0 +1,18 @@
+"""Text substrate: pseudo-translation, string similarity, literal embeddings."""
+
+from .embeddings import CharEmbeddingTable, WordEmbeddingTable, embed_text
+from .similarity import (
+    jaccard_tokens,
+    levenshtein,
+    normalized_levenshtein,
+    string_similarity,
+    trigram_similarity,
+)
+from .translate import LANGUAGES, Language, pseudo_translate, translate_back
+
+__all__ = [
+    "Language", "LANGUAGES", "pseudo_translate", "translate_back",
+    "levenshtein", "normalized_levenshtein", "jaccard_tokens",
+    "trigram_similarity", "string_similarity",
+    "WordEmbeddingTable", "CharEmbeddingTable", "embed_text",
+]

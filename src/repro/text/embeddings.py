@@ -1,0 +1,106 @@
+"""Word and character embedding tables.
+
+Substitute for the pre-trained fastText cross-lingual vectors the paper
+uses to initialize literal embeddings.  Each word's base vector is derived
+deterministically from a hash of its *canonical* (English) form, so the
+pseudo-translations of a word land near its original — exactly the property
+cross-lingual word embeddings provide — with per-language Gaussian noise
+standing in for imperfect alignment of the embedding spaces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from .translate import LANGUAGES, translate_back
+
+__all__ = ["WordEmbeddingTable", "CharEmbeddingTable", "embed_text"]
+
+
+def _hash_vector(token: str, dim: int, salt: str = "") -> np.ndarray:
+    """Deterministic unit Gaussian vector for ``token``."""
+    digest = hashlib.sha256(f"{salt}:{token}".encode("utf-8")).digest()
+    seed = int.from_bytes(digest[:8], "big")
+    rng = np.random.default_rng(seed)
+    vec = rng.normal(size=dim)
+    return vec / np.linalg.norm(vec)
+
+
+class WordEmbeddingTable:
+    """Cross-lingually anchored word vectors.
+
+    ``language`` names which synthetic language the looked-up tokens are
+    written in; tokens are mapped back to their canonical form before
+    hashing so that translations share a base vector.  ``noise`` controls
+    the per-language perturbation (0 = perfectly aligned spaces).
+    """
+
+    def __init__(self, dim: int = 32, language: str = "en",
+                 noise: float = 0.3, seed: int = 0):
+        if language not in LANGUAGES:
+            raise KeyError(f"unknown language {language!r}; choose from {sorted(LANGUAGES)}")
+        self.dim = dim
+        self.language = language
+        self.noise = noise
+        self.seed = seed
+        self._cache: dict[str, np.ndarray] = {}
+
+    def vector(self, token: str) -> np.ndarray:
+        cached = self._cache.get(token)
+        if cached is not None:
+            return cached
+        canonical = translate_back(token, self.language)
+        base = _hash_vector(canonical, self.dim)
+        if self.noise > 0.0 and self.language != "en":
+            perturbation = _hash_vector(token, self.dim, salt=f"lang:{self.language}:{self.seed}")
+            base = base + self.noise * perturbation
+            base = base / np.linalg.norm(base)
+        self._cache[token] = base
+        return base
+
+    def embed_text(self, text: str) -> np.ndarray:
+        """Mean of the token vectors; zero vector for empty text."""
+        tokens = [t for t in text.split() if t]
+        if not tokens:
+            return np.zeros(self.dim)
+        return np.mean([self.vector(t) for t in tokens], axis=0)
+
+
+class CharEmbeddingTable:
+    """Deterministic character vectors for character-level literal encoders
+    (AttrE's Eq. 5)."""
+
+    def __init__(self, dim: int = 16, seed: int = 0):
+        self.dim = dim
+        self.seed = seed
+        self._cache: dict[str, np.ndarray] = {}
+
+    def vector(self, char: str) -> np.ndarray:
+        cached = self._cache.get(char)
+        if cached is not None:
+            return cached
+        vec = _hash_vector(char, self.dim, salt=f"char:{self.seed}")
+        self._cache[char] = vec
+        return vec
+
+    def embed_literal(self, literal: str, max_chars: int = 40) -> np.ndarray:
+        """Positionally weighted sum of character vectors (``comb`` in Eq. 5).
+
+        A mild positional decay keeps the composition order-sensitive, so
+        anagrams do not collide.
+        """
+        chars = list(literal[:max_chars])
+        if not chars:
+            return np.zeros(self.dim)
+        weights = np.array([0.95**i for i in range(len(chars))])
+        vectors = np.stack([self.vector(c) for c in chars])
+        combined = (weights[:, None] * vectors).sum(axis=0)
+        norm = np.linalg.norm(combined)
+        return combined / norm if norm > 0 else combined
+
+
+def embed_text(text: str, table: WordEmbeddingTable) -> np.ndarray:
+    """Convenience wrapper around :meth:`WordEmbeddingTable.embed_text`."""
+    return table.embed_text(text)

@@ -1,0 +1,69 @@
+"""String similarity measures used by conventional matchers and IMUSE."""
+
+from __future__ import annotations
+
+__all__ = [
+    "levenshtein",
+    "normalized_levenshtein",
+    "jaccard_tokens",
+    "trigram_similarity",
+    "string_similarity",
+]
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Classic edit distance with O(min(|a|,|b|)) memory."""
+    if len(a) < len(b):
+        a, b = b, a
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, ch_a in enumerate(a, start=1):
+        current = [i]
+        for j, ch_b in enumerate(b, start=1):
+            cost = 0 if ch_a == ch_b else 1
+            current.append(
+                min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+            )
+        previous = current
+    return previous[-1]
+
+
+def normalized_levenshtein(a: str, b: str) -> float:
+    """1 - edit_distance / max_length, in [0, 1]; 1.0 for two empty strings."""
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein(a, b) / longest
+
+
+def jaccard_tokens(a: str, b: str) -> float:
+    """Jaccard similarity of whitespace token sets."""
+    set_a, set_b = set(a.split()), set(b.split())
+    if not set_a and not set_b:
+        return 1.0
+    union = set_a | set_b
+    if not union:
+        return 1.0
+    return len(set_a & set_b) / len(union)
+
+
+def _trigrams(text: str) -> set[str]:
+    padded = f"  {text} "
+    return {padded[i:i + 3] for i in range(len(padded) - 2)}
+
+
+def trigram_similarity(a: str, b: str) -> float:
+    """Dice coefficient over character trigrams (pg_trgm-style)."""
+    tri_a, tri_b = _trigrams(a), _trigrams(b)
+    if not tri_a and not tri_b:
+        return 1.0
+    denominator = len(tri_a) + len(tri_b)
+    if denominator == 0:
+        return 1.0
+    return 2.0 * len(tri_a & tri_b) / denominator
+
+
+def string_similarity(a: str, b: str) -> float:
+    """Blend of edit and trigram similarity used as a default by matchers."""
+    return 0.5 * normalized_levenshtein(a, b) + 0.5 * trigram_similarity(a, b)

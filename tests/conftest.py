@@ -1,0 +1,29 @@
+"""Shared fixtures: small benchmark datasets reused across test modules."""
+
+import pytest
+
+from repro.approaches import ApproachConfig
+from repro.datagen import benchmark_pair
+
+
+@pytest.fixture(scope="session")
+def enfr_pair():
+    """A small EN-FR dataset (direct derivation, no sampling) for speed."""
+    return benchmark_pair("EN-FR", size=220, method="direct", seed=0)
+
+
+@pytest.fixture(scope="session")
+def enfr_split(enfr_pair):
+    return enfr_pair.split(train_ratio=0.2, valid_ratio=0.1, seed=0)
+
+
+@pytest.fixture(scope="session")
+def dy_pair():
+    return benchmark_pair("D-Y", size=220, method="direct", seed=0)
+
+
+@pytest.fixture
+def fast_config():
+    """Few epochs: tests check behaviour, not final quality."""
+    return ApproachConfig(dim=16, epochs=10, lr=0.05, batch_size=512,
+                          valid_every=5, n_negatives=3)

@@ -1,0 +1,49 @@
+"""Tests for the AliNet extension approach."""
+
+import numpy as np
+import pytest
+
+from repro.approaches import AliNet, APPROACHES, EXTRA_APPROACHES, get_approach
+
+
+def test_alinet_in_extension_registry_not_core():
+    assert "AliNet" in EXTRA_APPROACHES
+    assert "AliNet" not in APPROACHES  # the paper's 12 stay authoritative
+    approach = get_approach("alinet")
+    assert isinstance(approach, AliNet)
+
+
+def test_alinet_two_hop_adjacency_properties(enfr_pair, enfr_split, fast_config):
+    approach = AliNet(fast_config)
+    approach.fit(enfr_pair, enfr_split)
+    two_hop = approach._two_hop_adjacency()
+    assert two_hop.shape == approach.adjacency.shape
+    assert np.all(two_hop.diagonal() == 0.0), "self-loops removed"
+    row_sums = np.asarray(two_hop.sum(axis=1)).ravel()
+    nonzero = row_sums[row_sums > 0]
+    np.testing.assert_allclose(nonzero, np.ones_like(nonzero), atol=1e-9)
+
+
+def test_alinet_trains_and_evaluates(enfr_pair, enfr_split, fast_config):
+    approach = AliNet(fast_config)
+    log = approach.fit(enfr_pair, enfr_split)
+    assert log.epochs_run >= 1
+    metrics = approach.evaluate(enfr_split.test, hits_at=(1, 5))
+    assert np.isfinite(metrics.mr)
+    assert metrics.hits_at(1) > 1.0 / len(enfr_split.test)
+
+
+def test_alinet_encoder_forward_matches_embeddings(enfr_pair, enfr_split, fast_config):
+    approach = AliNet(fast_config)
+    approach.fit(enfr_pair, enfr_split)
+    encoder = approach.encoders[0][0]
+    np.testing.assert_allclose(encoder.embeddings(), encoder().data, atol=1e-9)
+
+
+def test_alinet_gate_parameters_trainable(enfr_pair, enfr_split, fast_config):
+    approach = AliNet(fast_config)
+    approach.fit(enfr_pair, enfr_split)
+    names = {p.name for p in approach._parameters()}
+    assert any("gate" in n for n in names)
+    assert any("w1" in n for n in names)
+    assert any("w2" in n for n in names)

@@ -1,0 +1,182 @@
+"""Tests for the analysis toolkit and the cross-validation pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    DEGREE_BUCKETS,
+    bucket_of,
+    hubness_isolation,
+    prediction_overlap,
+    recall_by_degree,
+    similarity_distribution,
+)
+from repro.approaches import ApproachConfig, get_approach
+from repro.kg import KGPair, KnowledgeGraph
+from repro.pipeline import CVResult, cross_validate, run_fold
+
+
+# ---------------------------------------------------------------------------
+# geometry
+# ---------------------------------------------------------------------------
+def test_similarity_distribution_ordering():
+    sim = np.random.default_rng(0).normal(size=(20, 30))
+    dist = similarity_distribution(sim, k=5)
+    assert len(dist.top_k_means) == 5
+    assert np.all(np.diff(dist.top_k_means) <= 1e-12)  # decreasing
+    assert dist.top1_mean == pytest.approx(dist.top_k_means[0])
+    assert dist.variance >= 0
+
+
+def test_similarity_distribution_empty():
+    dist = similarity_distribution(np.zeros((0, 5)), k=3)
+    assert dist.top1_mean == 0.0
+
+
+def test_similarity_distribution_k_clamped():
+    sim = np.eye(4)
+    dist = similarity_distribution(sim, k=10)
+    assert len(dist.top_k_means) == 4
+
+
+def test_hubness_isolation_identity():
+    sim = np.eye(6)
+    result = hubness_isolation(sim)
+    assert result["1"] == pytest.approx(1.0)
+    assert result["0"] == 0.0
+
+
+def test_hubness_isolation_single_hub():
+    sim = np.zeros((5, 5))
+    sim[:, 2] = 1.0  # everyone's nearest neighbor is target 2
+    result = hubness_isolation(sim)
+    assert result[">=5"] == pytest.approx(1 / 5)
+    assert result["0"] == pytest.approx(4 / 5)
+
+
+def test_hubness_proportions_sum_to_one():
+    sim = np.random.default_rng(1).normal(size=(40, 25))
+    result = hubness_isolation(sim)
+    assert sum(result.values()) == pytest.approx(1.0)
+
+
+# ---------------------------------------------------------------------------
+# degree recall
+# ---------------------------------------------------------------------------
+def test_bucket_of_boundaries():
+    assert bucket_of(1) == 0
+    assert bucket_of(5) == 0
+    assert bucket_of(6) == 1
+    assert bucket_of(15) == 2
+    assert bucket_of(100) == 3
+    assert bucket_of(0) == 0  # clamped below
+
+
+def test_recall_by_degree():
+    kg1 = KnowledgeGraph([("a", "r", "x")] * 1 + [("b", "r", f"t{i}") for i in range(9)])
+    kg2 = KnowledgeGraph([("A", "s", "X"), ("B", "s", "Y")])
+    pair = KGPair(kg1=kg1, kg2=kg2, alignment=[("a", "A"), ("b", "B")])
+    test_pairs = [("a", "A"), ("b", "B")]
+    predicted = [("a", "A"), ("b", "WRONG")]
+    result = recall_by_degree(pair, test_pairs, predicted)
+    # ("a","A") has degree 1+1=2 -> bucket [1,6): recall 1.0
+    assert result[DEGREE_BUCKETS[0]] == (1.0, 1)
+    # ("b","B") has degree 9+1=10 -> bucket [6,11): recall 0.0
+    assert result[DEGREE_BUCKETS[1]] == (0.0, 1)
+
+
+# ---------------------------------------------------------------------------
+# overlap
+# ---------------------------------------------------------------------------
+def test_prediction_overlap_regions():
+    gold = {("a", "x"), ("b", "y"), ("c", "z"), ("d", "w")}
+    overlap = prediction_overlap(
+        {
+            "sys1": {("a", "x"), ("b", "y")},
+            "sys2": {("b", "y"), ("c", "z")},
+        },
+        gold,
+    )
+    assert overlap[frozenset({"sys1"})] == pytest.approx(0.25)       # a
+    assert overlap[frozenset({"sys1", "sys2"})] == pytest.approx(0.25)  # b
+    assert overlap[frozenset({"sys2"})] == pytest.approx(0.25)       # c
+    assert overlap[frozenset()] == pytest.approx(0.25)               # d
+    assert sum(overlap.values()) == pytest.approx(1.0)
+
+
+def test_prediction_overlap_empty_gold():
+    assert prediction_overlap({"s": set()}, set()) == {}
+
+
+# ---------------------------------------------------------------------------
+# pipeline
+# ---------------------------------------------------------------------------
+def test_run_fold_and_cross_validate(enfr_pair, fast_config):
+    factory = lambda: get_approach("MTransE", fast_config)
+    result = cross_validate(factory, enfr_pair, n_folds=2, hits_at=(1, 5))
+    assert isinstance(result, CVResult)
+    assert len(result.folds) == 2
+    mean, std = result.mean_std("hits@1")
+    assert 0.0 <= mean <= 1.0
+    assert std >= 0.0
+    assert result.train_seconds > 0
+    assert "hits@1" in result.format()
+
+
+def test_cross_validate_validates_folds(enfr_pair, fast_config):
+    factory = lambda: get_approach("MTransE", fast_config)
+    with pytest.raises(ValueError):
+        cross_validate(factory, enfr_pair, n_folds=0)
+    with pytest.raises(ValueError):
+        cross_validate(factory, enfr_pair, n_folds=6)
+
+
+def test_cv_result_unknown_metric(enfr_pair, fast_config):
+    factory = lambda: get_approach("MTransE", fast_config)
+    result = cross_validate(factory, enfr_pair, n_folds=1)
+    with pytest.raises(KeyError):
+        result.mean_std("accuracy")
+    assert result.mean_std("mr")[0] > 0
+    assert 0 <= result.mean_std("mrr")[0] <= 1
+
+
+def test_run_fold_returns_trained_approach(enfr_pair, enfr_split, fast_config):
+    fold = run_fold(lambda: get_approach("MTransE", fast_config),
+                    enfr_pair, enfr_split)
+    assert fold.seconds > 0
+    assert fold.approach.log is fold.log
+
+
+# ---------------------------------------------------------------------------
+# norm bias
+# ---------------------------------------------------------------------------
+def test_degree_norm_correlation_detects_hub_drift():
+    from repro.analysis import degree_norm_correlation
+
+    rng = np.random.default_rng(0)
+    degrees = rng.integers(1, 30, size=200)
+    unbiased = rng.normal(size=(200, 8))
+    unbiased /= np.linalg.norm(unbiased, axis=1, keepdims=True)
+    assert abs(degree_norm_correlation(unbiased, degrees)) < 0.2
+    biased = unbiased * (1.0 + 0.1 * degrees)[:, None]
+    assert degree_norm_correlation(biased, degrees) > 0.9
+
+
+def test_degree_norm_correlation_constant_inputs():
+    from repro.analysis import degree_norm_correlation
+
+    emb = np.ones((5, 4))
+    assert degree_norm_correlation(emb, np.ones(5)) == 0.0
+    assert degree_norm_correlation(emb[:1], np.array([3])) == 0.0
+
+
+def test_norm_by_degree_buckets():
+    from repro.analysis import DEGREE_BUCKETS, norm_by_degree
+
+    degrees = np.array([1, 2, 7, 20])
+    emb = np.diag([1.0, 2.0, 3.0, 4.0])
+    result = norm_by_degree(emb, degrees)
+    assert result[DEGREE_BUCKETS[0]] == (pytest.approx(1.5), 2)
+    assert result[DEGREE_BUCKETS[1]][1] == 1
+    assert result[DEGREE_BUCKETS[2]][1] == 0
+    assert np.isnan(result[DEGREE_BUCKETS[2]][0])

@@ -1,0 +1,63 @@
+"""API quality gates: every public item is documented and importable."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro", "repro.autodiff", "repro.kg", "repro.text", "repro.datagen",
+    "repro.sampling", "repro.embedding", "repro.alignment",
+    "repro.approaches", "repro.conventional", "repro.analysis",
+    "repro.pipeline", "repro.cli",
+]
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+def test_all_exports_exist_and_documented(module_name):
+    module = importlib.import_module(module_name)
+    exports = getattr(module, "__all__", [])
+    for name in exports:
+        assert hasattr(module, name), f"{module_name}.__all__ lists missing {name}"
+        item = getattr(module, name)
+        if inspect.isclass(item) or inspect.isfunction(item):
+            assert inspect.getdoc(item), f"{module_name}.{name} lacks a docstring"
+
+
+def test_every_source_module_has_docstring():
+    import repro as root
+
+    package_path = root.__path__
+    missing = []
+    for info in pkgutil.walk_packages(package_path, prefix="repro."):
+        module = importlib.import_module(info.name)
+        if not module.__doc__:
+            missing.append(info.name)
+    assert not missing, f"modules without docstrings: {missing}"
+
+
+def test_public_classes_have_documented_public_methods():
+    from repro.approaches import EmbeddingApproach
+    from repro.conventional import LogMap, Paris
+    from repro.embedding import RelationModel
+
+    for cls in (EmbeddingApproach, RelationModel, Paris, LogMap):
+        for name, member in inspect.getmembers(cls, inspect.isfunction):
+            if name.startswith("_"):
+                continue
+            assert inspect.getdoc(member), f"{cls.__name__}.{name} undocumented"
+
+
+def test_version_is_pep440ish():
+    parts = repro.__version__.split(".")
+    assert len(parts) >= 2
+    assert all(p.isdigit() for p in parts[:2])

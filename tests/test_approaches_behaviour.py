@@ -1,0 +1,194 @@
+"""Behavioural tests for the 12 approaches (integration-level).
+
+Each approach trains on a small dataset; assertions target the paper's
+qualitative claims rather than absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.approaches import (
+    APPROACHES,
+    AttrE,
+    ApproachConfig,
+    BootEA,
+    IMUSE,
+    IPTransE,
+    KDCoE,
+    MTransE,
+    MultiKE,
+    RDGCN,
+    get_approach,
+)
+
+
+@pytest.fixture(scope="module")
+def trained(enfr_pair_module, enfr_split_module):
+    """Train every approach once on the shared module-scope dataset."""
+    # dim >= 24 matters: SEA's double transformation underfits below that
+    config = ApproachConfig(dim=24, epochs=30, lr=0.05, batch_size=512,
+                            valid_every=10, n_negatives=3)
+    out = {}
+    for name in APPROACHES:
+        approach = get_approach(name, config)
+        approach.fit(enfr_pair_module, enfr_split_module)
+        out[name] = approach
+    return out
+
+
+@pytest.fixture(scope="module")
+def enfr_pair_module():
+    from repro.datagen import benchmark_pair
+
+    return benchmark_pair("EN-FR", size=220, method="direct", seed=0)
+
+
+@pytest.fixture(scope="module")
+def enfr_split_module(enfr_pair_module):
+    return enfr_pair_module.split(train_ratio=0.2, valid_ratio=0.1, seed=0)
+
+
+def test_all_approaches_better_than_random(trained, enfr_split_module):
+    n = len(enfr_split_module.test)
+    random_hits1 = 1.0 / n
+    for name, approach in trained.items():
+        hits1 = approach.evaluate(enfr_split_module.test, hits_at=(1,)).hits_at(1)
+        assert hits1 > 5 * random_hits1, f"{name} is not better than random"
+
+
+def test_literal_approaches_beat_structure_only_baseline(trained, enfr_split_module):
+    """MultiKE/RDGCN (literal-driven) dominate MTransE (paper Table 5)."""
+    baseline = trained["MTransE"].evaluate(enfr_split_module.test, hits_at=(1,)).hits_at(1)
+    for name in ("MultiKE", "RDGCN"):
+        strong = trained[name].evaluate(enfr_split_module.test, hits_at=(1,)).hits_at(1)
+        assert strong > baseline
+
+
+def test_bootea_beats_mtranse(trained, enfr_split_module):
+    """Negative sampling + bootstrapping (paper §5.2 ablations)."""
+    bootea = trained["BootEA"].evaluate(enfr_split_module.test, hits_at=(1,)).hits_at(1)
+    mtranse = trained["MTransE"].evaluate(enfr_split_module.test, hits_at=(1,)).hits_at(1)
+    assert bootea > mtranse
+
+
+def test_semi_supervised_approaches_record_augmentation(trained):
+    for name in ("BootEA", "IPTransE", "KDCoE"):
+        records = trained[name].log.augmentation
+        assert records, f"{name} recorded no augmentation rounds"
+        for record in records:
+            assert 0.0 <= record.precision <= 1.0
+            assert 0.0 <= record.recall <= 1.0
+
+
+def test_bootea_editing_keeps_precision_above_iptranse(trained):
+    """BootEA edits errors away; IPTransE accumulates them (Figure 7).
+
+    Compared on the *final* augmentation round, where IPTransE's
+    uncorrected errors have piled up.
+    """
+    bootea_final = trained["BootEA"].log.augmentation[-1].precision
+    iptranse_final = trained["IPTransE"].log.augmentation[-1].precision
+    assert bootea_final >= iptranse_final
+
+
+# ---------------------------------------------------------------------------
+# ablation switches
+# ---------------------------------------------------------------------------
+def test_attribute_ablation_hurts_multike(enfr_pair_module, enfr_split_module):
+    config = ApproachConfig(dim=16, epochs=15, lr=0.05, valid_every=5)
+    with_attr = MultiKE(config)
+    with_attr.fit(enfr_pair_module, enfr_split_module)
+    config_no = ApproachConfig(dim=16, epochs=15, lr=0.05, valid_every=5,
+                               use_attributes=False)
+    without = MultiKE(config_no)
+    without.fit(enfr_pair_module, enfr_split_module)
+    hits_with = with_attr.evaluate(enfr_split_module.test, hits_at=(1,)).hits_at(1)
+    hits_without = without.evaluate(enfr_split_module.test, hits_at=(1,)).hits_at(1)
+    assert hits_with > hits_without
+    assert without.channels == []
+
+
+def test_relation_only_mode_empties_triples(enfr_pair_module, enfr_split_module):
+    config = ApproachConfig(dim=16, epochs=3, valid_every=0,
+                            use_relations=False)
+    approach = AttrE(config)
+    approach.fit(enfr_pair_module, enfr_split_module)
+    assert len(approach.data.triples) == 0
+
+
+def test_mtranse_negative_sampling_variant(enfr_pair_module, enfr_split_module):
+    config = ApproachConfig(dim=16, epochs=15, lr=0.05, valid_every=5)
+    plain = MTransE(config)
+    plain.fit(enfr_pair_module, enfr_split_module)
+    sampled = MTransE(config, negative_sampling=True)
+    sampled.fit(enfr_pair_module, enfr_split_module)
+    assert sampled.negative_sampling and not plain.negative_sampling
+    # the §5.2 quality claim (sampling lifts Hits@1) is checked at bench
+    # scale in benchmarks/bench_ablation_design_choices.py; here we only
+    # require both variants to train and produce finite metrics
+    for approach in (plain, sampled):
+        metrics = approach.evaluate(enfr_split_module.test, hits_at=(1,))
+        assert np.isfinite(metrics.mr)
+
+
+def test_mtranse_model_swap(enfr_pair_module, enfr_split_module):
+    """Figure 11's protocol: swap the relation model inside MTransE."""
+    config = ApproachConfig(dim=16, epochs=8, lr=0.05, valid_every=0)
+    for model_name in ("transh", "rotate"):
+        approach = MTransE(config, model_name=model_name)
+        approach.fit(enfr_pair_module, enfr_split_module)
+        assert type(approach.model).__name__.lower() == model_name
+        metrics = approach.evaluate(enfr_split_module.test, hits_at=(1,))
+        assert np.isfinite(metrics.mr)
+
+
+def test_bootea_bootstrap_ablation(enfr_pair_module, enfr_split_module):
+    config = ApproachConfig(dim=16, epochs=20, lr=0.05, valid_every=10)
+    with_boot = BootEA(config, bootstrap=True)
+    with_boot.fit(enfr_pair_module, enfr_split_module)
+    without = BootEA(config, bootstrap=False)
+    without.fit(enfr_pair_module, enfr_split_module)
+    assert with_boot.log.augmentation
+    assert not without.log.augmentation
+
+
+def test_imuse_collects_preprocessing_pairs(enfr_pair_module, enfr_split_module, fast_config):
+    approach = IMUSE(fast_config)
+    approach.fit(enfr_pair_module, enfr_split_module)
+    assert isinstance(approach.collected_pairs, list)
+    # on EN-FR numeric literals still produce some matches
+    assert len(approach.collected_pairs) > 0
+
+
+def test_kdcoe_description_coverage_limits_proposals(enfr_pair_module, enfr_split_module, fast_config):
+    approach = KDCoE(fast_config)
+    approach.fit(enfr_pair_module, enfr_split_module)
+    described = set(approach.desc1)
+    proposals = approach._propose_from_descriptions()
+    assert all(a in described for a, _ in proposals)
+
+
+def test_rdgcn_literal_features_not_zero(enfr_pair_module, enfr_split_module, fast_config):
+    approach = RDGCN(fast_config)
+    approach.fit(enfr_pair_module, enfr_split_module)
+    features = approach.encoders[0][0].features.data
+    nonzero = (np.linalg.norm(features, axis=1) > 1e-9).mean()
+    assert nonzero > 0.8
+
+
+def test_iptranse_mines_paths(enfr_pair_module, enfr_split_module, fast_config):
+    approach = IPTransE(fast_config)
+    approach.fit(enfr_pair_module, enfr_split_module)
+    assert approach._paths.shape[1] == 3 if len(approach._paths) else True
+
+
+def test_rsn_walks_alternate_entities_relations(enfr_pair_module, enfr_split_module, fast_config):
+    from repro.approaches import RSN4EA
+
+    approach = RSN4EA(fast_config, walk_length=3)
+    approach.fit(enfr_pair_module, enfr_split_module)
+    walks = approach.walks
+    assert walks.shape[1] == 5  # e r e r e
+    assert (walks[:, 0] < approach.rel_offset).all()       # entity slots
+    assert (walks[:, 1] >= approach.rel_offset).all()      # relation slots
+    assert (walks[:, 2] < approach.rel_offset).all()

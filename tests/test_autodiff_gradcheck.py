@@ -1,0 +1,193 @@
+"""Numerical gradient checks for every differentiable op.
+
+These tests pin the engine's correctness: each op's analytic gradient is
+compared against central finite differences.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autodiff import (
+    Tensor,
+    check_gradients,
+    circular_correlation,
+    concat,
+    conv2d,
+    maximum,
+    sparse_matmul,
+    stack,
+    where,
+)
+from scipy import sparse
+
+RNG = np.random.default_rng(42)
+
+
+def _rand(*shape):
+    return RNG.normal(size=shape)
+
+
+@pytest.mark.parametrize(
+    "func,shapes",
+    [
+        (lambda a, b: a + b, [(3, 4), (3, 4)]),
+        (lambda a, b: a + b, [(3, 4), (4,)]),  # broadcast
+        (lambda a, b: a - b, [(2, 3), (1, 3)]),
+        (lambda a, b: a * b, [(3, 4), (3, 4)]),
+        (lambda a, b: a * b, [(5,), (1,)]),
+        (lambda a, b: a / (b * b + 1.0), [(3,), (3,)]),
+        (lambda a: -a, [(4,)]),
+        (lambda a: a**3, [(3, 2)]),
+        (lambda a, b: a @ b, [(3, 4), (4, 5)]),
+        (lambda a, b: a @ b, [(4,), (4, 2)]),
+        (lambda a, b: a @ b, [(3, 4), (4,)]),
+        (lambda a: a.sum(axis=1), [(3, 4)]),
+        (lambda a: a.sum(axis=0, keepdims=True), [(3, 4)]),
+        (lambda a: a.mean(axis=1), [(2, 5)]),
+        (lambda a: a.reshape(6), [(2, 3)]),
+        (lambda a: a.transpose(), [(2, 3)]),
+        (lambda a: a.transpose(1, 0, 2), [(2, 3, 4)]),
+        (lambda a: a.exp(), [(3, 3)]),
+        (lambda a: (a * a + 1.0).log(), [(4,)]),
+        (lambda a: (a * a + 1.0).sqrt(), [(4,)]),
+        (lambda a: a.sigmoid(), [(3, 4)]),
+        (lambda a: a.tanh(), [(3, 4)]),
+        (lambda a: a.softplus(), [(3, 4)]),
+        (lambda a: a.square(), [(3,)]),
+        (lambda a: a.norm(axis=1), [(3, 4)]),
+        (lambda a: a.l2_normalize(axis=1), [(3, 4)]),
+        (lambda a: a.softmax(axis=1), [(3, 5)]),
+        (lambda a, b: circular_correlation(a, b), [(8,), (8,)]),
+        (lambda a, b: circular_correlation(a, b), [(3, 8), (3, 8)]),
+        (lambda a, b: concat([a, b], axis=1), [(2, 3), (2, 2)]),
+        (lambda a, b: stack([a, b], axis=1), [(2, 3), (2, 3)]),
+        (lambda a, b: maximum(a * 2.0, b), [(4,), (4,)]),
+    ],
+)
+def test_op_gradients(func, shapes):
+    inputs = [_rand(*s) for s in shapes]
+    check_gradients(func, inputs)
+
+
+def test_relu_gradient_away_from_kink():
+    a = _rand(5, 5)
+    a[np.abs(a) < 0.1] = 0.5  # avoid the non-differentiable point
+    check_gradients(lambda t: t.relu(), [a])
+
+
+def test_abs_gradient_away_from_kink():
+    a = _rand(6)
+    a[np.abs(a) < 0.1] = 0.7
+    check_gradients(lambda t: t.abs(), [a])
+
+
+def test_gather_gradient():
+    idx = np.array([0, 2, 2, 1])
+
+    def func(table):
+        return table.gather(idx).square()
+
+    check_gradients(func, [_rand(4, 3)])
+
+
+def test_getitem_gradient():
+    def func(a):
+        return a[1:3, :2] * 2.0
+
+    check_gradients(func, [_rand(4, 3)])
+
+
+def test_where_gradient():
+    cond = np.array([[True, False, True], [False, True, False]])
+
+    def func(a, b):
+        return where(cond, a * 2.0, b * 3.0)
+
+    check_gradients(func, [_rand(2, 3), _rand(2, 3)])
+
+
+def test_conv2d_gradient():
+    x = _rand(2, 2, 5, 6)
+    w = _rand(3, 2, 2, 3)
+    b = _rand(3)
+
+    def func(xt, wt, bt):
+        return conv2d(xt, wt, bt)
+
+    check_gradients(func, [x, w, b], atol=1e-4)
+
+
+def test_conv2d_matches_naive():
+    x = _rand(1, 1, 4, 4)
+    w = _rand(1, 1, 2, 2)
+    out = conv2d(Tensor(x), Tensor(w)).data
+    expected = np.zeros((1, 1, 3, 3))
+    for i in range(3):
+        for j in range(3):
+            expected[0, 0, i, j] = (x[0, 0, i:i + 2, j:j + 2] * w[0, 0]).sum()
+    np.testing.assert_allclose(out, expected, atol=1e-12)
+
+
+def test_conv2d_channel_mismatch_raises():
+    with pytest.raises(ValueError):
+        conv2d(Tensor(_rand(1, 2, 4, 4)), Tensor(_rand(1, 3, 2, 2)))
+
+
+def test_sparse_matmul_gradient_wrt_dense():
+    mat = sparse.random(5, 4, density=0.5, random_state=3, format="csr")
+
+    def func(dense):
+        return sparse_matmul(mat, dense)
+
+    check_gradients(func, [_rand(4, 3)])
+
+
+def test_sparse_matmul_forward_matches_dense():
+    mat = sparse.random(6, 4, density=0.4, random_state=7, format="csr")
+    dense = _rand(4, 2)
+    out = sparse_matmul(mat, Tensor(dense)).data
+    np.testing.assert_allclose(out, mat.toarray() @ dense, atol=1e-12)
+
+
+def test_circular_correlation_definition():
+    a, b = _rand(8), _rand(8)
+    out = circular_correlation(Tensor(a), Tensor(b)).data
+    n = len(a)
+    expected = np.array(
+        [sum(a[i] * b[(i + k) % n] for i in range(n)) for k in range(n)]
+    )
+    np.testing.assert_allclose(out, expected, atol=1e-10)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.integers(min_value=1, max_value=5),
+    cols=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_chain_rule_property(rows, cols, seed):
+    """d/dx sum(sigmoid(x W)) matches finite differences for random shapes."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(rows, cols))
+    w = rng.normal(size=(cols, 3))
+    check_gradients(lambda a, b: (a @ b).sigmoid(), [x, w])
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_linearity_of_gradients(seed):
+    """grad(sum(2f + 3g)) == 2 grad(sum f) + 3 grad(sum g)."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(4,))
+
+    def run(scale_f, scale_g):
+        t = Tensor(x, requires_grad=True)
+        out = scale_f * t.square().sum() + scale_g * t.tanh().sum()
+        out.backward()
+        return t.grad.copy()
+
+    combined = run(2.0, 3.0)
+    separate = 2.0 * run(1.0, 0.0) + 3.0 * run(0.0, 1.0)
+    np.testing.assert_allclose(combined, separate, atol=1e-10)

@@ -1,0 +1,47 @@
+"""Tests for the dataset-generation CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.kg import load_pair, load_splits
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_generate_writes_openea_layout(tmp_path, capsys):
+    out = tmp_path / "EN_FR_tiny"
+    code = main([
+        "generate", "--family", "EN-FR", "--size", "120",
+        "--method", "direct", "--out", str(out),
+    ])
+    assert code == 0
+    pair = load_pair(out)
+    assert pair.alignment
+    splits = load_splits(out)
+    assert len(splits) == 5
+    stdout = capsys.readouterr().out
+    assert "rel triples" in stdout
+
+
+def test_stats_reads_back(tmp_path, capsys):
+    out = tmp_path / "DY_tiny"
+    main(["generate", "--family", "D-Y", "--size", "100",
+          "--method", "direct", "--out", str(out)])
+    capsys.readouterr()
+    code = main(["stats", str(out)])
+    assert code == 0
+    stdout = capsys.readouterr().out
+    assert "avg_degree" in stdout
+
+
+def test_stats_missing_directory(tmp_path, capsys):
+    code = main(["stats", str(tmp_path / "nope")])
+    assert code == 2
+
+
+def test_generate_rejects_unknown_family():
+    with pytest.raises(SystemExit):
+        main(["generate", "--family", "EN-XX", "--out", "/tmp/x"])

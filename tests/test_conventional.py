@@ -1,0 +1,137 @@
+"""Tests for PARIS and the LogMap-style matcher."""
+
+import pytest
+
+from repro.alignment import prf_metrics
+from repro.conventional import LogMap, LogMapConfig, Paris, ParisConfig
+from repro.datagen import benchmark_pair
+from repro.kg import KGPair, KnowledgeGraph
+
+
+@pytest.fixture(scope="module")
+def enfr():
+    return benchmark_pair("EN-FR", size=200, method="direct", seed=1)
+
+
+@pytest.fixture(scope="module")
+def dw():
+    return benchmark_pair("D-W", size=200, method="direct", seed=1)
+
+
+# ---------------------------------------------------------------------------
+# PARIS
+# ---------------------------------------------------------------------------
+def test_paris_high_precision(enfr):
+    result = Paris().align(enfr)
+    prf = prf_metrics(result.alignment, set(enfr.alignment))
+    assert prf.precision > 0.8
+    assert prf.recall > 0.4
+
+
+def test_paris_one_to_one_output(enfr):
+    result = Paris().align(enfr)
+    lefts = [a for a, _ in result.alignment]
+    rights = [b for _, b in result.alignment]
+    assert len(lefts) == len(set(lefts))
+    assert len(rights) == len(set(rights))
+
+
+def test_paris_needs_no_training_data(enfr):
+    # align() signature takes only the pair: Table 9's "no pre-aligned
+    # entities" requirement
+    result = Paris(ParisConfig(iterations=1)).align(enfr)
+    assert result.alignment
+
+
+def test_paris_relation_only_outputs_nothing(enfr):
+    """Table 8: PARIS cannot align from relation triples alone."""
+    result = Paris().align(enfr.without_attributes())
+    assert result.alignment == []
+
+
+def test_paris_attribute_only_keeps_precision_drops_recall(enfr):
+    full = prf_metrics(Paris().align(enfr).alignment, set(enfr.alignment))
+    attr_only = prf_metrics(
+        Paris().align(enfr.without_relations()).alignment, set(enfr.alignment)
+    )
+    assert attr_only.precision > 0.75
+    assert attr_only.recall < full.recall
+
+
+def test_paris_learns_relation_correspondence(enfr):
+    result = Paris().align(enfr)
+    assert result.relation_correspondence
+    assert all(0 <= v <= 1.5 for v in result.relation_correspondence.values())
+
+
+def test_paris_functionality_computation():
+    kg = KnowledgeGraph(
+        attribute_triples=[
+            ("a", "key", "unique1"),
+            ("b", "key", "unique2"),
+            ("c", "shared", "common"),
+            ("d", "shared", "common"),
+        ]
+    )
+    paris = Paris()
+    ifun = paris._inverse_functionality(kg, "en")
+    assert ifun["key"] == pytest.approx(1.0)
+    assert ifun["shared"] == pytest.approx(0.5)
+
+
+def test_paris_empty_pair():
+    pair = KGPair(kg1=KnowledgeGraph(), kg2=KnowledgeGraph(), alignment=[])
+    result = Paris().align(pair)
+    assert result.alignment == []
+
+
+# ---------------------------------------------------------------------------
+# LogMap
+# ---------------------------------------------------------------------------
+def test_logmap_works_on_word_schemata(enfr):
+    result = LogMap().align(enfr)
+    assert result.property_alignment
+    prf = prf_metrics(result.alignment, set(enfr.alignment))
+    assert prf.precision > 0.85
+
+
+def test_logmap_fails_on_numeric_schema(dw):
+    """§6.3: LogMap depends on local names; Wikidata's P-IDs defeat it."""
+    result = LogMap().align(dw)
+    assert result.alignment == []
+    assert result.property_alignment == {}
+
+
+def test_logmap_repair_enforces_one_to_one(enfr):
+    result = LogMap().align(enfr)
+    rights = [b for _, b in result.alignment]
+    assert len(rights) == len(set(rights))
+
+
+def test_logmap_relation_only_outputs_nothing(enfr):
+    result = LogMap().align(enfr.without_attributes())
+    assert result.alignment == []
+
+
+def test_logmap_attribute_only_still_works(enfr):
+    """Table 8: LogMap's results remain intact with attributes only."""
+    full = prf_metrics(LogMap().align(enfr).alignment, set(enfr.alignment))
+    attr_only = prf_metrics(
+        LogMap().align(enfr.without_relations()).alignment, set(enfr.alignment)
+    )
+    assert attr_only.f1 > 0.5 * full.f1
+
+
+def test_logmap_threshold_configurable(enfr):
+    strict = LogMap(LogMapConfig(candidate_threshold=0.99)).align(enfr)
+    loose = LogMap(LogMapConfig(candidate_threshold=0.5)).align(enfr)
+    assert len(strict.alignment) <= len(loose.alignment)
+
+
+def test_both_systems_complementary_with_embeddings(enfr):
+    """Figure 12: conventional systems find pairs embeddings may miss and
+    vice versa — at minimum, their correct sets are not identical."""
+    gold = set(enfr.alignment)
+    paris_correct = set(Paris().align(enfr).alignment) & gold
+    logmap_correct = set(LogMap().align(enfr).alignment) & gold
+    assert paris_correct != logmap_correct

@@ -1,0 +1,138 @@
+"""Unit tests for PARIS/LogMap internals (the component level)."""
+
+import pytest
+
+from repro.conventional import LogMap, LogMapConfig, Paris
+from repro.kg import KGPair, KnowledgeGraph
+
+
+def _pair(attr1, attr2, rel1=(), rel2=()):
+    return KGPair(
+        kg1=KnowledgeGraph(list(rel1), list(attr1), name="K1"),
+        kg2=KnowledgeGraph(list(rel2), list(attr2), name="K2"),
+        alignment=[],
+    )
+
+
+# ---------------------------------------------------------------------------
+# PARIS internals
+# ---------------------------------------------------------------------------
+def test_paris_literal_scores_use_inverse_functionality():
+    """A match on a key-like attribute outweighs one on a shared value."""
+    pair = _pair(
+        attr1=[("a1", "key", "K1-unique"), ("a1", "type", "city"),
+               ("a2", "key", "K2-unique"), ("a2", "type", "city")],
+        attr2=[("b1", "key", "K1-unique"), ("b1", "type", "city"),
+               ("b2", "type", "city")],
+    )
+    paris = Paris()
+    values1 = paris._entity_values(pair.kg1, "en")
+    values2 = paris._entity_values(pair.kg2, "en")
+    ifun1 = paris._inverse_functionality(pair.kg1, "en")
+    ifun2 = paris._inverse_functionality(pair.kg2, "en")
+    scores = paris._literal_scores(values1, values2, ifun1, ifun2)
+    assert scores[("a1", "b1")] > scores[("a2", "b2")]
+
+
+def test_paris_blocking_skips_huge_value_groups():
+    # 50 entities share one value: above max_block, no evidence
+    attr1 = [(f"a{i}", "p", "common") for i in range(50)]
+    attr2 = [(f"b{i}", "q", "common") for i in range(50)]
+    result = Paris().align(_pair(attr1, attr2))
+    assert result.alignment == []
+
+
+def test_paris_relation_correspondence_from_matching_endpoints():
+    pair = _pair(
+        attr1=[("a1", "k", "v1"), ("a2", "k", "v2")],
+        attr2=[("b1", "k", "v1"), ("b2", "k", "v2")],
+        rel1=[("a1", "r", "a2")],
+        rel2=[("b1", "s", "b2")],
+    )
+    result = Paris().align(pair)
+    assert result.relation_correspondence.get(("r", "s"), 0.0) > 0.3
+    assert ("a1", "b1") in result.alignment
+    assert ("a2", "b2") in result.alignment
+
+
+def test_paris_reinforcement_recovers_unmatched_neighbor():
+    """An entity with no literal overlap is aligned via its neighbor.
+
+    The (r, s) correspondence must first be established by at least one
+    edge whose endpoints both matched literally (a1-a2 / b1-b2); the
+    propagation then scores the literal-free pair (a4, b4).
+    """
+    pair = _pair(
+        attr1=[("a1", "k", "v1"), ("a2", "k", "v2"), ("a3", "k", "v3")],
+        attr2=[("b1", "k", "v1"), ("b2", "k", "v2"), ("b3", "k", "v3")],
+        rel1=[("a1", "r", "a2"), ("a3", "r", "a4")],
+        rel2=[("b1", "s", "b2"), ("b3", "s", "b4")],
+    )
+    result = Paris().align(pair)
+    assert result.relation_correspondence.get(("r", "s"), 0.0) > 0.0
+    # a4/b4 share no literal; only relational propagation can find them
+    assert result.scores.get(("a4", "b4"), 0.0) > 0.0
+
+
+# ---------------------------------------------------------------------------
+# LogMap internals
+# ---------------------------------------------------------------------------
+def test_logmap_property_alignment_by_name():
+    pair = _pair(
+        attr1=[("a", "population", "1")],
+        attr2=[("b", "population", "1")],
+    )
+    result = LogMap().align(pair)
+    assert result.property_alignment == {"population": "population"}
+
+
+def test_logmap_property_alignment_rejects_dissimilar():
+    pair = _pair(
+        attr1=[("a", "population", "1")],
+        attr2=[("b", "P1082", "1")],
+    )
+    result = LogMap().align(pair)
+    assert result.property_alignment == {}
+    assert result.alignment == []
+
+
+def test_logmap_anchors_require_aligned_property():
+    pair = _pair(
+        attr1=[("a", "name", "zurich"), ("a", "altitude", "408")],
+        attr2=[("b", "name", "zurich"), ("b", "P2044", "408")],
+    )
+    result = LogMap().align(pair)
+    # the name property aligns, altitude/P2044 does not; still anchored
+    assert ("a", "b") in result.alignment
+
+
+def test_logmap_neighbor_bonus_promotes_candidates():
+    config = LogMapConfig(candidate_threshold=0.8, neighbor_bonus=0.4)
+    pair = _pair(
+        attr1=[("a1", "name", "anchor one"), ("a2", "name", "ambiguous"),
+               ("a3", "name", "ambiguous")],
+        attr2=[("b1", "name", "anchor one"), ("b2", "name", "ambiguous"),
+               ("b3", "name", "ambiguous")],
+        rel1=[("a1", "r", "a2")],
+        rel2=[("b1", "s", "b2")],
+    )
+    result = LogMap(config).align(pair)
+    scores = result.scores
+    # a2-b2 is structurally supported by the a1-b1 anchor; a3-b3 is not
+    assert scores.get(("a2", "b2"), 0.0) > scores.get(("a3", "b3"), 0.0)
+
+
+def test_logmap_translation_bridges_languages():
+    from repro.text import pseudo_translate
+
+    pair = KGPair(
+        kg1=KnowledgeGraph([], [("a", "name", "everest mountain")]),
+        kg2=KnowledgeGraph(
+            [], [("b", pseudo_translate("name", "fr"),
+                  pseudo_translate("everest mountain", "fr"))]
+        ),
+        alignment=[],
+        metadata={"lang1": "en", "lang2": "fr"},
+    )
+    result = LogMap().align(pair)
+    assert ("a", "b") in result.alignment

@@ -1,0 +1,199 @@
+"""Tests for the synthetic world generator and KG view derivation."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    FAMILIES,
+    ViewConfig,
+    WorldConfig,
+    benchmark_pair,
+    derive_view,
+    generate_world,
+    make_vocabulary,
+    source_pair,
+)
+from repro.kg import degree_distribution
+
+
+@pytest.fixture(scope="module")
+def world():
+    return generate_world(WorldConfig(n_entities=400, avg_degree=6.0, seed=1))
+
+
+# ---------------------------------------------------------------------------
+# world
+# ---------------------------------------------------------------------------
+def test_vocabulary_unique_and_sized():
+    words = make_vocabulary(100, np.random.default_rng(0))
+    assert len(words) == 100
+    assert len(set(words)) == 100
+    assert all(w.isalpha() for w in words)
+
+
+def test_world_deterministic():
+    config = WorldConfig(n_entities=100, seed=5)
+    one, two = generate_world(config), generate_world(config)
+    assert one.relation_triples == two.relation_triples
+    assert one.attribute_triples == two.attribute_triples
+
+
+def test_world_average_degree_near_target(world):
+    degrees = world.degrees()
+    avg = degrees.sum() / world.n_entities
+    assert 4.5 <= avg <= 6.5
+
+
+def test_world_degree_distribution_heavy_tailed(world):
+    degrees = world.degrees()
+    # preferential attachment: max degree far above the mean
+    assert degrees.max() >= 4 * degrees.mean()
+
+
+def test_world_every_entity_named(world):
+    assert set(world.entity_names) == set(range(world.n_entities))
+    names = {t for e, a, t in world.attribute_triples if a == "name"}
+    assert len(names) > 0
+
+
+def test_world_descriptions_contain_name_tokens(world):
+    descriptions = {e: v for e, a, v in world.attribute_triples if a == "description"}
+    entity = 0
+    name_tokens = world.entity_names[entity].split()
+    assert all(tok in descriptions[entity].split() for tok in name_tokens)
+
+
+def test_world_attribute_groups_cover_plain_attributes(world):
+    plain = [a for a in world.attributes if a not in ("name", "description")]
+    assert set(world.attribute_group_of) == set(plain)
+
+
+def test_world_no_self_loops(world):
+    assert all(h != t for h, _, t in world.relation_triples)
+
+
+def test_world_relations_zipfian(world):
+    from collections import Counter
+
+    counts = Counter(r for _, r, _ in world.relation_triples)
+    values = sorted(counts.values(), reverse=True)
+    assert values[0] > 3 * values[-1]  # popular head much heavier than tail
+
+
+# ---------------------------------------------------------------------------
+# views
+# ---------------------------------------------------------------------------
+def test_view_opaque_entity_uris(world):
+    kg, uri_of = derive_view(world, ViewConfig(name="EN", entity_prefix="en"))
+    assert all(uri.startswith("en/e") for uri in uri_of.values())
+    # The URI index is a permutation, not the world id.
+    mismatches = sum(
+        1 for entity, uri in uri_of.items() if uri != f"en/e{entity}"
+    )
+    assert mismatches > len(uri_of) * 0.9
+
+
+def test_view_deterministic(world):
+    config = ViewConfig(name="X", seed=3)
+    kg1, map1 = derive_view(world, config)
+    kg2, map2 = derive_view(world, config)
+    assert kg1.relation_triples == kg2.relation_triples
+    assert map1 == map2
+
+
+def test_view_keep_rates(world):
+    config = ViewConfig(name="thin", triple_keep=0.5, entity_keep=1.0)
+    kg, _ = derive_view(world, config)
+    ratio = len(kg.relation_triples) / len(world.relation_triples)
+    assert 0.4 <= ratio <= 0.6
+
+
+def test_view_numeric_schema(world):
+    kg, _ = derive_view(world, ViewConfig(name="WD", schema_naming="numeric"))
+    assert all(r.startswith("P") for r in kg.relations)
+    assert all(a.startswith("P") for a in kg.attributes)
+
+
+def test_view_relation_merge_shrinks_schema(world):
+    kg, _ = derive_view(world, ViewConfig(name="YG", relation_merge=5))
+    assert len(kg.relations) <= 5
+
+
+def test_view_language_translates_values(world):
+    en_kg, uri_en = derive_view(world, ViewConfig(name="EN", language="en", value_noise=0.0))
+    fr_kg, uri_fr = derive_view(world, ViewConfig(name="FR", language="fr", value_noise=0.0))
+    en_values = {v for _, _, v in en_kg.attribute_triples}
+    fr_values = {v for _, _, v in fr_kg.attribute_triples}
+    assert en_values.isdisjoint(fr_values) or len(en_values & fr_values) < 0.2 * len(en_values)
+
+
+def test_view_drop_descriptions(world):
+    kg, _ = derive_view(
+        world, ViewConfig(name="nodesc", drop_descriptions=True, attr_keep=1.0)
+    )
+    # descriptions are the longest literals; with them gone, max token count is small
+    max_tokens = max(len(v.split()) for _, _, v in kg.attribute_triples)
+    assert max_tokens < 6
+
+
+# ---------------------------------------------------------------------------
+# families
+# ---------------------------------------------------------------------------
+def test_all_families_build():
+    for family in FAMILIES:
+        pair = source_pair(family, n_entities=250, seed=0)
+        assert len(pair.alignment) > 100
+        assert pair.metadata["family"] == family
+
+
+def test_source_pair_no_isolates():
+    pair = source_pair("EN-FR", n_entities=300, seed=1)
+    assert all(pair.kg1.degree(a) > 0 for a, _ in pair.alignment)
+    assert all(pair.kg2.degree(b) > 0 for _, b in pair.alignment)
+
+
+def test_v2_denser_than_v1():
+    v1 = source_pair("EN-FR", n_entities=400, version="V1", seed=0)
+    v2 = source_pair("EN-FR", n_entities=400, version="V2", seed=0)
+    assert v2.kg1.average_degree() > 1.5 * v1.kg1.average_degree()
+
+
+def test_dw_family_numeric_target_schema():
+    pair = source_pair("D-W", n_entities=250, seed=0)
+    assert all(r.startswith("P") for r in pair.kg2.relations)
+    assert not any(r.startswith("P") for r in pair.kg1.relations)
+
+
+def test_dy_family_small_target_schema():
+    pair = source_pair("D-Y", n_entities=250, seed=0)
+    assert len(pair.kg2.relations) <= 8
+    assert len(pair.kg1.relations) > len(pair.kg2.relations)
+
+
+def test_benchmark_pair_direct_and_ids():
+    direct = benchmark_pair("EN-FR", size=150, method="direct", seed=0)
+    assert len(direct.alignment) >= 150
+    sampled = benchmark_pair("EN-FR", size=150, method="ids", seed=0)
+    assert len(sampled.alignment) <= len(direct.alignment)
+    assert sampled.metadata["method"] == "ids"
+    assert sampled.name == "EN-FR-150-V1"
+
+
+def test_benchmark_pair_rejects_unknown():
+    with pytest.raises(KeyError):
+        benchmark_pair("EN-XX", size=100)
+    with pytest.raises(ValueError):
+        benchmark_pair("EN-FR", size=100, method="magic")
+    with pytest.raises(ValueError):
+        source_pair("EN-FR", version="V3")
+
+
+def test_degree_distribution_preserved_through_pipeline():
+    from repro.kg import js_divergence
+
+    source = source_pair("EN-FR", n_entities=800, seed=2)
+    sampled = benchmark_pair("EN-FR", size=400, seed=2, oversample=2.0)
+    js = js_divergence(
+        degree_distribution(source.kg1), degree_distribution(sampled.kg1)
+    )
+    assert js < 0.08

@@ -1,0 +1,77 @@
+"""Tests for the attribute embedding models AC2Vec and Label2Vec."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import AC2Vec, label2vec
+from repro.kg import KnowledgeGraph
+
+
+def test_ac2vec_validates_size():
+    with pytest.raises(ValueError):
+        AC2Vec(0)
+
+
+def test_ac2vec_learns_correlations():
+    """Attributes that co-occur become correlated; others do not."""
+    # attributes 0,1 always together; 2,3 always together; never mixed
+    sets = {}
+    for entity in range(30):
+        sets[entity] = {0, 1} if entity % 2 == 0 else {2, 3}
+    model = AC2Vec(4, dim=16, epochs=25, seed=0).fit(sets)
+    assert model.correlation(0, 1) > 0.6
+    assert model.correlation(2, 3) > 0.6
+    assert model.correlation(0, 2) < 0.5
+    assert model.correlation(0, 2) < model.correlation(0, 1)
+
+
+def test_ac2vec_empty_sets_noop():
+    model = AC2Vec(3, dim=8, seed=0)
+    before = model.embeddings.copy()
+    model.fit({0: set()})
+    np.testing.assert_allclose(model.embeddings, before)
+
+
+def test_ac2vec_entity_vectors_mean():
+    model = AC2Vec(3, dim=8, seed=1)
+    vectors = model.entity_vectors({7: {0, 2}, 8: set()})
+    assert 8 not in vectors
+    np.testing.assert_allclose(
+        vectors[7], model.embeddings[[0, 2]].mean(axis=0)
+    )
+
+
+def test_ac2vec_deterministic():
+    sets = {i: {i % 3, (i + 1) % 3} for i in range(10)}
+    one = AC2Vec(3, dim=8, epochs=5, seed=9).fit(sets).embeddings
+    two = AC2Vec(3, dim=8, epochs=5, seed=9).fit(sets).embeddings
+    np.testing.assert_allclose(one, two)
+
+
+def test_label2vec_picks_rare_short_literal():
+    kg = KnowledgeGraph(
+        attribute_triples=[
+            ("e1", "a", "unique label"),
+            ("e1", "b", "common"),
+            ("e2", "a", "common"),
+            ("e3", "a", "common"),
+        ]
+    )
+    vectors = label2vec(kg, dim=16)
+    assert set(vectors) == {"e1", "e2", "e3"}
+    # e1's vector comes from its rare value, so it differs from e2's
+    assert not np.allclose(vectors["e1"], vectors["e2"])
+    np.testing.assert_allclose(vectors["e2"], vectors["e3"])
+
+
+def test_label2vec_cross_lingual_anchor():
+    from repro.text import pseudo_translate
+
+    kg_en = KnowledgeGraph(attribute_triples=[("e", "a", "everest peak")])
+    kg_fr = KnowledgeGraph(
+        attribute_triples=[("f", "a", pseudo_translate("everest peak", "fr"))]
+    )
+    v_en = label2vec(kg_en, language="en", dim=24)["e"]
+    v_fr = label2vec(kg_fr, language="fr", dim=24)["f"]
+    cosine = v_en @ v_fr / (np.linalg.norm(v_en) * np.linalg.norm(v_fr))
+    assert cosine > 0.7

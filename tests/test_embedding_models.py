@@ -1,0 +1,302 @@
+"""Tests for relation embedding models, losses and negative sampling."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Adam, Tensor
+from repro.embedding import (
+    RELATION_MODELS,
+    ConvE,
+    GCNEncoder,
+    TransE,
+    TruncatedSampler,
+    get_relation_model,
+    limit_based_loss,
+    logistic_loss,
+    margin_ranking_loss,
+    normalized_adjacency,
+    uniform_corrupt,
+)
+
+RNG = np.random.default_rng(3)
+N_ENT, N_REL, DIM = 20, 5, 16
+
+
+def _model(name):
+    return RELATION_MODELS[name](N_ENT, N_REL, DIM, np.random.default_rng(0))
+
+
+@pytest.fixture(params=sorted(RELATION_MODELS))
+def model(request):
+    return _model(request.param)
+
+
+# ---------------------------------------------------------------------------
+# generic model contract
+# ---------------------------------------------------------------------------
+def test_score_shape_and_grad(model):
+    heads = np.array([0, 1, 2, 3])
+    rels = np.array([0, 1, 2, 0])
+    tails = np.array([4, 5, 6, 7])
+    scores = model.score(heads, rels, tails)
+    assert scores.shape == (4,)
+    (-scores.sum()).backward()
+    grads = [p for p in model.parameters() if p.grad is not None]
+    assert grads, "backward must reach at least one parameter"
+    assert all(np.isfinite(p.grad).all() for p in grads)
+
+
+def test_entity_embeddings_shape(model):
+    emb = model.entity_embeddings()
+    assert emb.shape == (N_ENT, DIM)
+    assert np.isfinite(emb).all()
+
+
+def test_normalize_keeps_shapes(model):
+    model.normalize()
+    assert model.entity_embeddings().shape == (N_ENT, DIM)
+
+
+def test_model_validates_dims():
+    with pytest.raises(ValueError):
+        TransE(0, 1, 8, RNG)
+    with pytest.raises(ValueError):
+        TransE(5, 5, 0, RNG)
+    with pytest.raises(ValueError):
+        TransE(5, 5, 8, RNG, norm="L3")
+
+
+def test_odd_dim_rejected_for_complex_models():
+    for name in ("complex", "rotate"):
+        with pytest.raises(ValueError):
+            RELATION_MODELS[name](5, 2, 7, RNG)
+
+
+def test_registry_lookup():
+    assert get_relation_model("TransE") is TransE
+    with pytest.raises(KeyError):
+        get_relation_model("pythagoras")
+
+
+# ---------------------------------------------------------------------------
+# model-specific behaviour
+# ---------------------------------------------------------------------------
+def test_transe_perfect_translation_scores_zero():
+    m = TransE(3, 1, 4, RNG)
+    m.entities.table.data[0] = [1.0, 0.0, 0.0, 0.0]
+    m.relations.table.data[0] = [0.0, 1.0, 0.0, 0.0]
+    m.entities.table.data[1] = [1.0, 1.0, 0.0, 0.0]
+    score = m.score([0], [0], [1])
+    assert float(score.data[0]) == pytest.approx(0.0, abs=1e-5)
+
+
+def test_transe_l1_variant():
+    m = TransE(3, 1, 4, RNG, norm="L1")
+    m.entities.table.data[0] = [1.0, 0.0, 0.0, 0.0]
+    m.relations.table.data[0] = [0.0, 0.0, 0.0, 0.0]
+    m.entities.table.data[1] = [0.0, 1.0, 0.0, 0.0]
+    assert float(m.score([0], [0], [1]).data[0]) == pytest.approx(-2.0)
+
+
+def test_distmult_symmetric_in_head_tail():
+    m = _model("distmult")
+    forward = m.score([0], [1], [2]).data
+    backward = m.score([2], [1], [0]).data
+    np.testing.assert_allclose(forward, backward)
+
+
+def test_rotate_preserves_norm_under_rotation():
+    m = _model("rotate")
+    # rotating h by r never changes its modulus; score of (e, r, e) with
+    # zero phase must be exactly 0
+    m.phases.data[...] = 0.0
+    score = m.score([3], [0], [3])
+    assert float(score.data[0]) == pytest.approx(0.0, abs=1e-5)
+
+
+def test_conve_factorization():
+    from repro.embedding.deep import _factor_2d
+
+    assert _factor_2d(16) == (4, 4)
+    assert _factor_2d(12) == (3, 4)
+    assert _factor_2d(7) == (1, 7)
+
+
+def test_conve_too_small_dim_rejected():
+    with pytest.raises(ValueError):
+        ConvE(4, 2, 2, RNG, kernel=3)
+
+
+def test_simple_entity_embeddings_average_roles():
+    m = _model("simple")
+    expected = 0.5 * (m.entities.all_embeddings() + m.tail_entities.all_embeddings())
+    np.testing.assert_allclose(m.entity_embeddings(), expected)
+
+
+# ---------------------------------------------------------------------------
+# training sanity: each family separates positives from negatives
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("name", ["transe", "transh", "distmult", "rotate", "proje"])
+def test_training_separates_positives(name):
+    rng = np.random.default_rng(0)
+    model = RELATION_MODELS[name](12, 3, 16, rng)
+    positives = np.array(
+        [(i, i % 3, (i + 1) % 12) for i in range(12)], dtype=np.int64
+    )
+    optimizer = Adam(model.parameters(), lr=0.05)
+    for _ in range(60):
+        negatives = uniform_corrupt(positives, 12, 1, rng)
+        optimizer.zero_grad()
+        pos = model.score(positives[:, 0], positives[:, 1], positives[:, 2])
+        neg = model.score(negatives[:, 0], negatives[:, 1], negatives[:, 2])
+        loss = margin_ranking_loss(pos, neg, margin=1.0)
+        loss.backward()
+        optimizer.step()
+    negatives = uniform_corrupt(positives, 12, 5, rng)
+    pos = model.score(positives[:, 0], positives[:, 1], positives[:, 2]).data.mean()
+    neg = model.score(negatives[:, 0], negatives[:, 1], negatives[:, 2]).data.mean()
+    assert pos > neg
+
+
+# ---------------------------------------------------------------------------
+# losses
+# ---------------------------------------------------------------------------
+def test_margin_loss_zero_when_separated():
+    pos = Tensor(np.array([5.0, 5.0]))
+    neg = Tensor(np.array([0.0, 0.0]))
+    assert float(margin_ranking_loss(pos, neg, margin=1.0).data) == 0.0
+
+
+def test_margin_loss_positive_when_violated():
+    pos = Tensor(np.array([0.0]))
+    neg = Tensor(np.array([0.0]))
+    assert float(margin_ranking_loss(pos, neg, margin=1.0).data) == pytest.approx(1.0)
+
+
+def test_logistic_loss_decreases_with_separation():
+    good = logistic_loss(Tensor(np.array([4.0])), Tensor(np.array([-4.0])))
+    bad = logistic_loss(Tensor(np.array([0.0])), Tensor(np.array([0.0])))
+    assert float(good.data) < float(bad.data)
+
+
+def test_limit_based_loss_zero_inside_limits():
+    pos = Tensor(np.array([0.0]))       # above pos_limit -0.2
+    neg = Tensor(np.array([-3.0]))      # below neg_limit -2.0
+    assert float(limit_based_loss(pos, neg).data) == 0.0
+
+
+def test_limit_based_loss_penalizes_both_sides():
+    loss = limit_based_loss(
+        Tensor(np.array([-1.0])), Tensor(np.array([-1.0])),
+        pos_limit=-0.2, neg_limit=-2.0, balance=1.0,
+    )
+    assert float(loss.data) == pytest.approx(0.8 + 1.0)
+
+
+# ---------------------------------------------------------------------------
+# negative sampling
+# ---------------------------------------------------------------------------
+def test_uniform_corrupt_shape_and_validity():
+    triples = np.array([[0, 0, 1], [2, 1, 3]], dtype=np.int64)
+    negatives = uniform_corrupt(triples, 10, 3, np.random.default_rng(0))
+    assert negatives.shape == (6, 3)
+    assert negatives[:, 1].tolist() == [0, 0, 0, 1, 1, 1]
+    assert ((negatives[:, [0, 2]] >= 0) & (negatives[:, [0, 2]] < 10)).all()
+
+
+def test_uniform_corrupt_changes_one_side():
+    triples = np.array([[0, 0, 1]] * 100, dtype=np.int64)
+    negatives = uniform_corrupt(triples, 50, 1, np.random.default_rng(1))
+    changed_head = negatives[:, 0] != 0
+    changed_tail = negatives[:, 2] != 1
+    assert not np.any(changed_head & changed_tail)
+
+
+def test_truncated_sampler_uses_neighbors():
+    sampler = TruncatedSampler(n_entities=10, truncation=0.3, cache_size=2)
+    # clustered embeddings: entities 0-4 near each other, 5-9 near each other
+    emb = np.zeros((10, 4))
+    emb[:5, 0] = 1.0
+    emb[:5, 1] = np.linspace(0, 0.1, 5)
+    emb[5:, 2] = 1.0
+    emb[5:, 3] = np.linspace(0, 0.1, 5)
+    sampler.refresh(emb)
+    triples = np.array([[0, 0, 1]] * 200, dtype=np.int64)
+    negatives = sampler.corrupt(triples, 1, np.random.default_rng(0))
+    replaced = np.where(negatives[:, 0] != 0, negatives[:, 0], negatives[:, 2])
+    assert set(replaced.tolist()) <= set(range(5))  # same cluster only
+
+
+def test_truncated_sampler_falls_back_to_uniform():
+    sampler = TruncatedSampler(n_entities=10, truncation=0.5)
+    assert not sampler.ready
+    triples = np.array([[0, 0, 1]], dtype=np.int64)
+    negatives = sampler.corrupt(triples, 2, np.random.default_rng(0))
+    assert negatives.shape == (2, 3)
+
+
+def test_truncated_sampler_validates():
+    with pytest.raises(ValueError):
+        TruncatedSampler(5, truncation=0.0)
+    sampler = TruncatedSampler(5)
+    with pytest.raises(ValueError):
+        sampler.refresh(np.zeros((3, 4)))
+
+
+# ---------------------------------------------------------------------------
+# GCN
+# ---------------------------------------------------------------------------
+def test_normalized_adjacency_rows():
+    adj = normalized_adjacency(3, [(0, 1), (1, 2)])
+    dense = adj.toarray()
+    assert dense.shape == (3, 3)
+    np.testing.assert_allclose(dense, dense.T, atol=1e-12)
+    assert (np.diag(dense) > 0).all()  # self loops present
+
+
+def test_gcn_forward_shapes_and_training():
+    adj = normalized_adjacency(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+    encoder = GCNEncoder(adj, in_dim=8, hidden_dims=[8, 8], rng=np.random.default_rng(0))
+    out = encoder()
+    assert out.shape == (6, 8)
+    # embeddings() (no-grad path) must match the graph forward
+    np.testing.assert_allclose(encoder.embeddings(), out.data, atol=1e-10)
+
+
+def test_gcn_highway_matches_forward():
+    adj = normalized_adjacency(5, [(0, 1), (2, 3)])
+    encoder = GCNEncoder(
+        adj, in_dim=6, hidden_dims=[6], rng=np.random.default_rng(1), highway=True
+    )
+    np.testing.assert_allclose(encoder.embeddings(), encoder().data, atol=1e-10)
+
+
+def test_gcn_constant_features_not_trainable():
+    adj = normalized_adjacency(4, [(0, 1)])
+    features = np.random.default_rng(0).normal(size=(4, 5))
+    encoder = GCNEncoder(
+        adj, in_dim=5, hidden_dims=[5], rng=np.random.default_rng(0),
+        features=features, trainable_features=False,
+    )
+    names = [p.name for p in encoder.parameters()]
+    assert "gcn.features" not in names
+
+
+def test_gcn_feature_shape_validated():
+    adj = normalized_adjacency(4, [(0, 1)])
+    with pytest.raises(ValueError):
+        GCNEncoder(adj, in_dim=5, hidden_dims=[5], rng=RNG,
+                   features=np.zeros((4, 3)))
+
+
+def test_gcn_neighbors_become_similar():
+    """After propagation, connected nodes are more similar than random."""
+    rng = np.random.default_rng(0)
+    edges = [(i, i + 1) for i in range(9)]
+    adj = normalized_adjacency(10, edges)
+    encoder = GCNEncoder(adj, in_dim=16, hidden_dims=[16, 16], rng=rng)
+    emb = encoder.embeddings()
+    emb = emb / np.linalg.norm(emb, axis=1, keepdims=True)
+    neighbor_sim = np.mean([emb[i] @ emb[i + 1] for i in range(9)])
+    far_sim = emb[0] @ emb[9]
+    assert neighbor_sim > far_sim

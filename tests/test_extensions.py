@@ -1,0 +1,133 @@
+"""Tests for the §7.2 future-direction extensions: unsupervised alignment
+and LSH blocking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alignment import HyperplaneLSH, blocked_greedy_alignment, greedy_alignment
+from repro.approaches import ApproachConfig, UnsupervisedProcrustes, orthogonal_procrustes
+
+
+# ---------------------------------------------------------------------------
+# orthogonal Procrustes
+# ---------------------------------------------------------------------------
+def test_procrustes_recovers_rotation():
+    rng = np.random.default_rng(0)
+    source = rng.normal(size=(50, 8))
+    # random orthogonal matrix
+    q, _ = np.linalg.qr(rng.normal(size=(8, 8)))
+    target = source @ q
+    recovered = orthogonal_procrustes(source, target)
+    np.testing.assert_allclose(recovered, q, atol=1e-8)
+
+
+def test_procrustes_result_is_orthogonal():
+    rng = np.random.default_rng(1)
+    rotation = orthogonal_procrustes(rng.normal(size=(30, 6)), rng.normal(size=(30, 6)))
+    np.testing.assert_allclose(rotation @ rotation.T, np.eye(6), atol=1e-8)
+
+
+def test_procrustes_shape_mismatch():
+    with pytest.raises(ValueError):
+        orthogonal_procrustes(np.zeros((3, 4)), np.zeros((4, 4)))
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 500))
+def test_procrustes_never_increases_error(seed):
+    """||S R - T|| <= ||S - T|| for the optimal R."""
+    rng = np.random.default_rng(seed)
+    source = rng.normal(size=(20, 5))
+    target = rng.normal(size=(20, 5))
+    rotation = orthogonal_procrustes(source, target)
+    before = np.linalg.norm(source - target)
+    after = np.linalg.norm(source @ rotation - target)
+    assert after <= before + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# unsupervised approach
+# ---------------------------------------------------------------------------
+def test_unsupervised_ignores_training_seeds(enfr_pair, enfr_split):
+    config = ApproachConfig(dim=16, epochs=10, lr=0.05, valid_every=0)
+    approach = UnsupervisedProcrustes(config, refinement_rounds=1)
+    # hand it an EMPTY training set: a supervised approach would collapse
+    empty_split = type(enfr_split)(train=[], valid=[], test=enfr_split.test)
+    approach.fit(enfr_pair, empty_split)
+    hits1 = approach.evaluate(enfr_split.test, hits_at=(1,)).hits_at(1)
+    assert hits1 > 5.0 / len(enfr_split.test), "should beat random by far"
+    assert approach.pseudo_seeds, "distant supervision must find pseudo-seeds"
+
+
+def test_unsupervised_pseudo_seeds_are_one_to_one(enfr_pair, enfr_split):
+    config = ApproachConfig(dim=16, epochs=2, valid_every=0)
+    approach = UnsupervisedProcrustes(config, refinement_rounds=0)
+    approach.fit(enfr_pair, enfr_split)
+    lefts = [a for a, _ in approach.pseudo_seeds]
+    rights = [b for _, b in approach.pseudo_seeds]
+    assert len(lefts) == len(set(lefts))
+    assert len(rights) == len(set(rights))
+
+
+def test_unsupervised_rotation_is_orthogonal(enfr_pair, enfr_split):
+    config = ApproachConfig(dim=16, epochs=5, valid_every=0)
+    approach = UnsupervisedProcrustes(config, refinement_rounds=1)
+    approach.fit(enfr_pair, enfr_split)
+    rotation = approach.rotation
+    np.testing.assert_allclose(rotation @ rotation.T, np.eye(16), atol=1e-8)
+
+
+# ---------------------------------------------------------------------------
+# LSH blocking
+# ---------------------------------------------------------------------------
+def test_lsh_self_query_contains_self():
+    rng = np.random.default_rng(0)
+    vectors = rng.normal(size=(40, 16))
+    lsh = HyperplaneLSH(16, n_bits=6, n_tables=3, seed=0)
+    lsh.index(vectors)
+    candidates = lsh.candidates(vectors)
+    for row, cand in enumerate(candidates):
+        assert row in cand  # identical vector hashes identically
+
+
+def test_lsh_requires_index_before_query():
+    lsh = HyperplaneLSH(8)
+    with pytest.raises(RuntimeError):
+        lsh.candidates(np.zeros((2, 8)))
+
+
+def test_lsh_validates_params():
+    with pytest.raises(ValueError):
+        HyperplaneLSH(8, n_bits=0)
+    with pytest.raises(ValueError):
+        HyperplaneLSH(8, n_tables=0)
+
+
+def test_blocked_alignment_prunes_and_mostly_agrees():
+    rng = np.random.default_rng(3)
+    target = rng.normal(size=(300, 24))
+    noise = 0.05 * rng.normal(size=(300, 24))
+    source = target + noise  # near-duplicates: gold is the identity
+    assignment, fraction = blocked_greedy_alignment(
+        source, target, n_bits=8, n_tables=6, seed=0
+    )
+    full = greedy_alignment(
+        (source / np.linalg.norm(source, axis=1, keepdims=True))
+        @ (target / np.linalg.norm(target, axis=1, keepdims=True)).T
+    )
+    agreement = (assignment == full).mean()
+    assert fraction < 0.5, "blocking must prune most of the candidate space"
+    assert agreement > 0.8, "blocking should keep most greedy decisions"
+
+
+def test_blocked_alignment_reports_no_candidates_as_minus_one():
+    rng = np.random.default_rng(4)
+    # orthogonal clusters: some queries may land in empty buckets with one
+    # aggressive table
+    source = rng.normal(size=(50, 8))
+    target = rng.normal(size=(5, 8))
+    assignment, _ = blocked_greedy_alignment(source, target, n_bits=10,
+                                             n_tables=1, seed=1)
+    assert ((assignment >= -1) & (assignment < 5)).all()

@@ -1,0 +1,103 @@
+"""End-to-end integration: the full paper workflow on one tiny dataset.
+
+Covers: generation -> IDS sampling -> OpenEA-format persistence ->
+5-fold cross-validation -> geometric analysis -> conventional systems ->
+overlap — the complete chain a user of the library walks through.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    ApproachConfig,
+    LogMap,
+    Paris,
+    benchmark_pair,
+    cross_validate,
+    get_approach,
+)
+from repro.analysis import hubness_isolation, prediction_overlap, similarity_distribution
+from repro.kg import load_pair, load_splits, save_pair, save_splits
+
+
+def test_package_version_and_exports():
+    assert repro.__version__
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"missing export {name}"
+
+
+@pytest.fixture(scope="module")
+def workflow(tmp_path_factory):
+    """Run the full chain once; individual tests assert on the pieces."""
+    tmp = tmp_path_factory.mktemp("workflow")
+    pair = benchmark_pair("D-Y", size=180, version="V1", seed=7, method="ids")
+
+    directory = tmp / "dataset"
+    save_pair(pair, directory)
+    save_splits(pair.five_fold_splits(seed=7), directory)
+    loaded = load_pair(directory, name=pair.name)
+    splits = load_splits(directory)
+
+    config = ApproachConfig(dim=16, epochs=15, lr=0.05, valid_every=5)
+    cv = cross_validate(
+        lambda: get_approach("BootEA", config), loaded, n_folds=2, seed=7
+    )
+    return pair, loaded, splits, cv
+
+
+def test_roundtrip_preserves_dataset(workflow):
+    pair, loaded, splits, _ = workflow
+    assert sorted(loaded.alignment) == sorted(pair.alignment)
+    assert len(splits) == 5
+    assert splits[0].total == len(pair.alignment)
+
+
+def test_cross_validation_aggregates(workflow):
+    _, _, _, cv = workflow
+    mean, std = cv.mean_std("hits@1")
+    assert 0.0 < mean <= 1.0
+    assert std >= 0.0
+    assert len(cv.folds) == 2
+
+
+def test_trained_fold_supports_analysis(workflow):
+    _, loaded, _, cv = workflow
+    approach = cv.folds[0].approach
+    test_pairs = loaded.five_fold_splits(seed=7)[0].test
+    similarity = approach.similarity_between(
+        [a for a, _ in test_pairs], [b for _, b in test_pairs], metric="cosine"
+    )
+    dist = similarity_distribution(similarity)
+    assert np.isfinite(dist.top1_mean)
+    proportions = hubness_isolation(similarity)
+    assert sum(proportions.values()) == pytest.approx(1.0)
+
+
+def test_conventional_systems_run_on_same_dataset(workflow):
+    pair, _, _, cv = workflow
+    gold = set(pair.alignment)
+    paris_correct = set(Paris().align(pair).alignment) & gold
+    logmap_correct = set(LogMap().align(pair).alignment) & gold
+    approach = cv.folds[0].approach
+    test_pairs = pair.five_fold_splits(seed=7)[0].test
+    embedding_correct = set(approach.predict(test_pairs)) & set(test_pairs)
+    overlap = prediction_overlap(
+        {"PARIS": paris_correct, "LogMap": logmap_correct,
+         "OpenEA": embedding_correct},
+        set(test_pairs),
+    )
+    assert sum(overlap.values()) == pytest.approx(1.0)
+    assert paris_correct, "PARIS should find something on D-Y"
+
+
+def test_alignment_strategies_consistent(workflow):
+    _, loaded, _, cv = workflow
+    approach = cv.folds[0].approach
+    test_pairs = loaded.five_fold_splits(seed=7)[0].test
+    greedy = approach.predict(test_pairs, strategy="greedy")
+    hungarian = approach.predict(test_pairs, strategy="hungarian")
+    # hungarian is 1-to-1; greedy may repeat targets
+    targets = [b for _, b in hungarian]
+    assert len(targets) == len(set(targets))
+    assert len(greedy) == len(test_pairs)

@@ -1,0 +1,137 @@
+"""Tests for the KnowledgeGraph data model and EntityIndex."""
+
+import pytest
+
+from repro.kg import EntityIndex, KnowledgeGraph
+
+
+@pytest.fixture
+def small_kg():
+    return KnowledgeGraph(
+        relation_triples=[
+            ("a", "r1", "b"),
+            ("b", "r1", "c"),
+            ("a", "r2", "c"),
+            ("c", "r2", "d"),
+        ],
+        attribute_triples=[
+            ("a", "name", "Alpha"),
+            ("a", "pop", "100"),
+            ("e", "name", "Echo"),  # attribute-only entity
+        ],
+        name="test",
+    )
+
+
+def test_entities_union_of_triples(small_kg):
+    assert small_kg.entities == frozenset("abcde")
+    assert small_kg.num_entities == 5
+
+
+def test_relations_and_attributes(small_kg):
+    assert small_kg.relations == frozenset({"r1", "r2"})
+    assert small_kg.attributes == frozenset({"name", "pop"})
+
+
+def test_degrees_count_both_endpoints(small_kg):
+    degrees = small_kg.degrees()
+    assert degrees == {"a": 2, "b": 2, "c": 3, "d": 1, "e": 0}
+
+
+def test_average_degree_excludes_isolated(small_kg):
+    # 4 triples * 2 endpoints / 4 entities with degree > 0
+    assert small_kg.average_degree() == pytest.approx(8 / 4)
+
+
+def test_adjacency_undirected(small_kg):
+    assert small_kg.neighbors("a") == {"b", "c"}
+    assert small_kg.neighbors("d") == {"c"}
+    assert small_kg.neighbors("e") == set()
+
+
+def test_adjacency_ignores_self_loops():
+    kg = KnowledgeGraph(relation_triples=[("a", "r", "a"), ("a", "r", "b")])
+    assert kg.neighbors("a") == {"b"}
+
+
+def test_entity_attributes(small_kg):
+    attrs = small_kg.entity_attributes()
+    assert attrs["a"] == [("name", "Alpha"), ("pop", "100")]
+    assert attrs["e"] == [("name", "Echo")]
+    assert "b" not in attrs
+
+
+def test_attribute_triples_of(small_kg):
+    assert small_kg.attribute_triples_of("e") == [("e", "name", "Echo")]
+
+
+def test_filtered_keeps_induced_subgraph(small_kg):
+    sub = small_kg.filtered({"a", "b", "c"})
+    assert sub.entities == frozenset("abc")
+    assert len(sub.relation_triples) == 3  # (c, r2, d) dropped
+    assert len(sub.attribute_triples) == 2  # only 'a' attributes
+
+
+def test_filtered_renames(small_kg):
+    assert small_kg.filtered({"a"}, name="sub").name == "sub"
+    assert small_kg.filtered({"a"}).name == "test"
+
+
+def test_without_attributes_and_relations(small_kg):
+    rel_only = small_kg.without_attributes()
+    assert rel_only.attribute_triples == []
+    assert len(rel_only.relation_triples) == 4
+    attr_only = small_kg.without_relations()
+    assert attr_only.relation_triples == []
+    assert len(attr_only.attribute_triples) == 3
+
+
+def test_multi_mapping_relation_entities():
+    kg = KnowledgeGraph(
+        relation_triples=[
+            ("a", "r", "b"),
+            ("a", "r", "c"),  # head 'a' maps to two tails via r
+            ("x", "s", "y"),  # 1-to-1
+        ]
+    )
+    involved = kg.multi_mapping_relation_entities()
+    assert involved == frozenset({"a", "b", "c"})
+
+
+def test_empty_graph_stats():
+    kg = KnowledgeGraph()
+    assert kg.num_entities == 0
+    assert kg.average_degree() == 0.0
+    assert kg.degrees() == {}
+
+
+def test_repr_mentions_counts(small_kg):
+    text = repr(small_kg)
+    assert "entities=5" in text
+    assert "rel_triples=4" in text
+
+
+# ---------------------------------------------------------------------------
+# EntityIndex
+# ---------------------------------------------------------------------------
+def test_entity_index_roundtrip():
+    index = EntityIndex(["x", "y"])
+    assert index.id_of("x") == 0
+    assert index.item_of(1) == "y"
+    assert len(index) == 2
+    assert "x" in index
+    assert "z" not in index
+
+
+def test_entity_index_add_idempotent():
+    index = EntityIndex()
+    first = index.add("a")
+    second = index.add("a")
+    assert first == second == 0
+    assert len(index) == 1
+
+
+def test_entity_index_bulk_ids():
+    index = EntityIndex(["a", "b", "c"])
+    assert index.ids(["c", "a"]) == [2, 0]
+    assert index.items() == ["a", "b", "c"]

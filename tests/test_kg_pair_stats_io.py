@@ -1,0 +1,247 @@
+"""Tests for KGPair, statistics functions and OpenEA-format I/O."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kg import (
+    AlignmentSplit,
+    KGPair,
+    KnowledgeGraph,
+    clustering_coefficient,
+    dataset_summary,
+    degree_distribution,
+    isolated_entity_ratio,
+    js_divergence,
+    load_pair,
+    load_splits,
+    save_pair,
+    save_splits,
+)
+
+
+def _pair(n_align=20):
+    rng = np.random.default_rng(1)
+    ents1 = [f"e1_{i}" for i in range(n_align + 5)]
+    ents2 = [f"e2_{i}" for i in range(n_align + 5)]
+    triples1 = [
+        (ents1[rng.integers(len(ents1))], "r", ents1[rng.integers(len(ents1))])
+        for _ in range(60)
+    ]
+    triples2 = [
+        (ents2[rng.integers(len(ents2))], "s", ents2[rng.integers(len(ents2))])
+        for _ in range(60)
+    ]
+    attrs1 = [(ents1[i], "name", f"val{i}") for i in range(10)]
+    attrs2 = [(ents2[i], "nom", f"val{i}") for i in range(10)]
+    alignment = [(ents1[i], ents2[i]) for i in range(n_align)]
+    return KGPair(
+        kg1=KnowledgeGraph(triples1, attrs1, name="KG1"),
+        kg2=KnowledgeGraph(triples2, attrs2, name="KG2"),
+        alignment=alignment,
+        name="toy",
+    )
+
+
+# ---------------------------------------------------------------------------
+# KGPair
+# ---------------------------------------------------------------------------
+def test_pair_rejects_non_one_to_one():
+    kg = KnowledgeGraph([("a", "r", "b")])
+    with pytest.raises(ValueError):
+        KGPair(kg1=kg, kg2=kg, alignment=[("a", "x"), ("a", "y")])
+
+
+def test_five_fold_splits_are_disjoint_and_cover():
+    pair = _pair()
+    splits = pair.five_fold_splits(seed=3)
+    assert len(splits) == 5
+    train_union = set()
+    for split in splits:
+        train_set = set(split.train)
+        assert train_set.isdisjoint(set(split.valid))
+        assert train_set.isdisjoint(set(split.test))
+        assert set(split.valid).isdisjoint(set(split.test))
+        assert split.total == len(pair.alignment)
+        train_union |= train_set
+    # the five training folds partition the reference alignment
+    assert train_union == set(pair.alignment)
+
+
+def test_five_fold_ratios_match_paper():
+    pair = _pair(n_align=100)
+    split = pair.five_fold_splits(seed=0)[0]
+    assert len(split.train) == 20
+    assert len(split.valid) == 10
+    assert len(split.test) == 70
+
+
+def test_single_split_ratios():
+    pair = _pair(n_align=50)
+    split = pair.split(train_ratio=0.3, valid_ratio=0.1, seed=5)
+    assert len(split.train) == 15
+    assert len(split.valid) == 5
+    assert len(split.test) == 30
+
+
+def test_split_rejects_bad_ratios():
+    with pytest.raises(ValueError):
+        _pair().split(train_ratio=0.8, valid_ratio=0.3)
+
+
+def test_restricted_to_alignment():
+    pair = _pair(n_align=10)
+    restricted = pair.restricted_to_alignment()
+    keep1 = {a for a, _ in pair.alignment}
+    assert restricted.kg1.entities <= keep1
+    assert all(
+        h in keep1 and t in keep1 for h, _, t in restricted.kg1.relation_triples
+    )
+
+
+def test_alignment_degree_sums_both_sides():
+    kg1 = KnowledgeGraph([("a", "r", "b"), ("a", "r", "c")])
+    kg2 = KnowledgeGraph([("x", "s", "y")])
+    pair = KGPair(kg1=kg1, kg2=kg2, alignment=[("a", "x")])
+    assert pair.alignment_degree(("a", "x")) == 2 + 1
+
+
+def test_feature_masking_views():
+    pair = _pair()
+    assert pair.without_attributes().kg1.attribute_triples == []
+    assert pair.without_relations().kg2.relation_triples == []
+
+
+# ---------------------------------------------------------------------------
+# statistics
+# ---------------------------------------------------------------------------
+def test_degree_distribution_sums_to_one():
+    kg = KnowledgeGraph([("a", "r", "b"), ("b", "r", "c")])
+    dist = degree_distribution(kg)
+    assert sum(dist.values()) == pytest.approx(1.0)
+    assert dist[1] == pytest.approx(2 / 3)  # a and c
+    assert dist[2] == pytest.approx(1 / 3)  # b
+
+
+def test_degree_distribution_clamps_max():
+    kg = KnowledgeGraph([("hub", "r", f"t{i}") for i in range(50)])
+    dist = degree_distribution(kg, max_degree=10)
+    assert max(dist) == 10
+
+
+def test_js_divergence_identical_is_zero():
+    dist = {1: 0.5, 2: 0.5}
+    assert js_divergence(dist, dist) == pytest.approx(0.0)
+
+
+def test_js_divergence_disjoint_is_log2():
+    assert js_divergence({1: 1.0}, {2: 1.0}) == pytest.approx(np.log(2))
+
+
+def test_js_divergence_symmetric():
+    q = {1: 0.7, 2: 0.3}
+    p = {1: 0.4, 2: 0.4, 3: 0.2}
+    assert js_divergence(q, p) == pytest.approx(js_divergence(p, q))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    weights=st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=2, max_size=8),
+    other=st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=2, max_size=8),
+)
+def test_js_divergence_bounds_property(weights, other):
+    q = {i: w / sum(weights) for i, w in enumerate(weights)}
+    p = {i: w / sum(other) for i, w in enumerate(other)}
+    value = js_divergence(q, p)
+    assert -1e-12 <= value <= np.log(2) + 1e-12
+
+
+def test_isolated_entity_ratio():
+    kg = KnowledgeGraph(
+        relation_triples=[("a", "r", "b")],
+        attribute_triples=[("c", "x", "1"), ("d", "x", "2")],
+    )
+    assert isolated_entity_ratio(kg) == pytest.approx(0.5)
+
+
+def test_clustering_coefficient_triangle():
+    kg = KnowledgeGraph([("a", "r", "b"), ("b", "r", "c"), ("c", "r", "a")])
+    assert clustering_coefficient(kg) == pytest.approx(1.0)
+
+
+def test_clustering_coefficient_star_is_zero():
+    kg = KnowledgeGraph([("hub", "r", f"t{i}") for i in range(4)])
+    assert clustering_coefficient(kg) == pytest.approx(0.0)
+
+
+def test_clustering_matches_networkx():
+    import networkx as nx
+
+    rng = np.random.default_rng(0)
+    triples = [
+        (f"n{rng.integers(12)}", "r", f"n{rng.integers(12)}") for _ in range(40)
+    ]
+    kg = KnowledgeGraph(triples)
+    graph = nx.Graph()
+    graph.add_nodes_from(kg.entities)
+    graph.add_edges_from(
+        (h, t) for h, _, t in triples if h != t
+    )
+    expected = nx.average_clustering(graph)
+    assert clustering_coefficient(kg) == pytest.approx(expected, abs=1e-9)
+
+
+def test_dataset_summary_keys():
+    summary = dataset_summary(_pair().kg1)
+    assert set(summary) == {
+        "entities", "relations", "attributes", "rel_triples", "attr_triples",
+        "avg_degree",
+    }
+
+
+# ---------------------------------------------------------------------------
+# I/O
+# ---------------------------------------------------------------------------
+def test_pair_roundtrip(tmp_path):
+    pair = _pair()
+    save_pair(pair, tmp_path / "data")
+    loaded = load_pair(tmp_path / "data", name="toy")
+    assert loaded.alignment == pair.alignment
+    assert sorted(loaded.kg1.relation_triples) == sorted(pair.kg1.relation_triples)
+    assert sorted(loaded.kg2.attribute_triples) == sorted(pair.kg2.attribute_triples)
+    assert loaded.name == "toy"
+
+
+def test_splits_roundtrip(tmp_path):
+    pair = _pair()
+    splits = pair.five_fold_splits(seed=0)
+    save_splits(splits, tmp_path)
+    loaded = load_splits(tmp_path)
+    assert len(loaded) == 5
+    for original, read in zip(splits, loaded):
+        assert read.train == original.train
+        assert read.valid == original.valid
+        assert read.test == original.test
+
+
+def test_read_triples_rejects_malformed(tmp_path):
+    bad = tmp_path / "bad"
+    bad.write_text("a\tb\n", encoding="utf-8")
+    from repro.kg import read_triples
+
+    with pytest.raises(ValueError):
+        read_triples(bad)
+
+
+def test_read_links_skips_blank_lines(tmp_path):
+    path = tmp_path / "links"
+    path.write_text("a\tb\n\nc\td\n", encoding="utf-8")
+    from repro.kg import read_links
+
+    assert read_links(path) == [("a", "b"), ("c", "d")]
+
+
+def test_alignment_split_total():
+    split = AlignmentSplit(train=[("a", "b")], valid=[], test=[("c", "d")])
+    assert split.total == 2

@@ -1,0 +1,81 @@
+"""Property-based tests on PairData's indexing invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.approaches import PairData
+from repro.kg import AlignmentSplit, KGPair, KnowledgeGraph
+
+
+@st.composite
+def kg_pairs(draw):
+    n = draw(st.integers(min_value=4, max_value=12))
+    seed = draw(st.integers(0, 1000))
+    rng = np.random.default_rng(seed)
+    ents1 = [f"a{i}" for i in range(n)]
+    ents2 = [f"b{i}" for i in range(n)]
+    triples1 = [
+        (ents1[rng.integers(n)], f"r{rng.integers(3)}", ents1[rng.integers(n)])
+        for _ in range(3 * n)
+    ]
+    triples2 = [
+        (ents2[rng.integers(n)], f"s{rng.integers(3)}", ents2[rng.integers(n)])
+        for _ in range(3 * n)
+    ]
+    pair = KGPair(
+        kg1=KnowledgeGraph(triples1),
+        kg2=KnowledgeGraph(triples2),
+        alignment=[(a, b) for a, b in zip(ents1, ents2)],
+    )
+    n_train = draw(st.integers(min_value=1, max_value=n - 2))
+    split = AlignmentSplit(
+        train=pair.alignment[:n_train],
+        valid=pair.alignment[n_train:n_train + 1],
+        test=pair.alignment[n_train + 1:],
+    )
+    return pair, split
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=kg_pairs(), merge=st.booleans())
+def test_pairdata_ids_are_dense_and_consistent(data, merge):
+    pair, split = data
+    pd = PairData(pair, split, merge_seeds=merge)
+    # every alignment entity resolves, and ids are within range
+    for a, b in pair.alignment:
+        assert 0 <= pd.entity_id(a) < pd.n_entities
+        assert 0 <= pd.entity_id(b) < pd.n_entities
+    # triples reference valid ids
+    if len(pd.triples):
+        assert pd.triples[:, [0, 2]].max() < pd.n_entities
+        assert pd.triples[:, 1].max() < pd.n_relations
+    # triple count is preserved by indexing
+    assert len(pd.triples) == (
+        len(pair.kg1.relation_triples) + len(pair.kg2.relation_triples)
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=kg_pairs())
+def test_merging_folds_exactly_train_pairs(data):
+    pair, split = data
+    merged = PairData(pair, split, merge_seeds=True)
+    unmerged = PairData(pair, split, merge_seeds=False)
+    assert unmerged.n_entities - merged.n_entities == len(split.train)
+    for a, b in split.train:
+        assert merged.entity_id(a) == merged.entity_id(b)
+    for a, b in split.test:
+        assert merged.entity_id(a) != merged.entity_id(b)
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=kg_pairs())
+def test_seed_id_pairs_roundtrip(data):
+    pair, split = data
+    pd = PairData(pair, split, merge_seeds=False)
+    ids = pd.seed_id_pairs(split.test)
+    for (a, b), (ia, ib) in zip(split.test, ids):
+        assert pd.entity_id(a) == ia
+        assert pd.entity_id(b) == ib

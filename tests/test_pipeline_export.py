@@ -1,0 +1,70 @@
+"""Tests for the CSV result exporter."""
+
+import csv
+
+import pytest
+
+from repro.approaches import get_approach
+from repro.pipeline import cross_validate, export_csv, export_fold_csv
+
+
+@pytest.fixture(scope="module")
+def results(enfr_pair_for_export):
+    from repro.approaches import ApproachConfig
+
+    config = ApproachConfig(dim=16, epochs=6, valid_every=3)
+    return [
+        cross_validate(lambda: get_approach(name, config),
+                       enfr_pair_for_export, n_folds=2)
+        for name in ("MTransE", "BootEA")
+    ]
+
+
+@pytest.fixture(scope="module")
+def enfr_pair_for_export():
+    from repro.datagen import benchmark_pair
+
+    return benchmark_pair("EN-FR", size=150, method="direct", seed=0)
+
+
+def test_export_csv_structure(results, tmp_path):
+    path = tmp_path / "results.csv"
+    export_csv(results, path)
+    with open(path, newline="", encoding="utf-8") as handle:
+        rows = list(csv.DictReader(handle))
+    assert len(rows) == 2
+    assert {row["approach"] for row in rows} == {"MTransE", "BootEA"}
+    for row in rows:
+        assert row["folds"] == "2"
+        assert 0.0 <= float(row["hits@1_mean"]) <= 1.0
+        assert float(row["hits@1_std"]) >= 0.0
+        assert float(row["train_seconds"]) > 0.0
+
+
+def test_export_fold_csv_structure(results, tmp_path):
+    path = tmp_path / "folds.csv"
+    export_fold_csv(results, path)
+    with open(path, newline="", encoding="utf-8") as handle:
+        rows = list(csv.DictReader(handle))
+    assert len(rows) == 4  # 2 approaches x 2 folds
+    assert {row["fold"] for row in rows} == {"1", "2"}
+    for row in rows:
+        assert int(row["epochs"]) >= 1
+        assert float(row["mr"]) >= 1.0
+
+
+def test_export_creates_parent_dirs(results, tmp_path):
+    path = tmp_path / "deep" / "nested" / "out.csv"
+    export_csv(results, path)
+    assert path.exists()
+
+
+def test_export_mean_matches_cv(results, tmp_path):
+    path = tmp_path / "check.csv"
+    export_csv(results, path)
+    with open(path, newline="", encoding="utf-8") as handle:
+        rows = {row["approach"]: row for row in csv.DictReader(handle)}
+    for result in results:
+        mean, std = result.mean_std("hits@1")
+        assert float(rows[result.name]["hits@1_mean"]) == pytest.approx(mean, abs=1e-6)
+        assert float(rows[result.name]["hits@1_std"]) == pytest.approx(std, abs=1e-6)

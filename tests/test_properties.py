@@ -1,0 +1,137 @@
+"""Cross-module property-based tests on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alignment import (
+    csls,
+    greedy_alignment,
+    hungarian_alignment,
+    rank_metrics,
+    stable_marriage,
+)
+from repro.kg import KGPair, KnowledgeGraph, degree_distribution, js_divergence
+
+ENT = st.integers(min_value=0, max_value=14).map(lambda i: f"e{i}")
+REL = st.sampled_from(["r1", "r2", "r3"])
+TRIPLES = st.lists(st.tuples(ENT, REL, ENT), min_size=1, max_size=40)
+
+
+# ---------------------------------------------------------------------------
+# KnowledgeGraph invariants
+# ---------------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(triples=TRIPLES)
+def test_degree_sum_equals_twice_triples(triples):
+    kg = KnowledgeGraph(triples)
+    assert sum(kg.degrees().values()) == 2 * len(kg.relation_triples)
+
+
+@settings(max_examples=40, deadline=None)
+@given(triples=TRIPLES)
+def test_filtered_is_monotone(triples):
+    kg = KnowledgeGraph(triples)
+    entities = sorted(kg.entities)
+    subset = set(entities[: len(entities) // 2])
+    sub = kg.filtered(subset)
+    assert sub.entities <= subset
+    assert set(sub.relation_triples) <= set(kg.relation_triples)
+
+
+@settings(max_examples=40, deadline=None)
+@given(triples=TRIPLES)
+def test_degree_distribution_is_probability(triples):
+    kg = KnowledgeGraph(triples)
+    dist = degree_distribution(kg)
+    assert sum(dist.values()) == pytest.approx(1.0)
+    assert all(v >= 0 for v in dist.values())
+
+
+@settings(max_examples=30, deadline=None)
+@given(triples=TRIPLES, other=TRIPLES)
+def test_js_divergence_identity_of_indiscernibles(triples, other):
+    p = degree_distribution(KnowledgeGraph(triples))
+    q = degree_distribution(KnowledgeGraph(other))
+    assert js_divergence(p, p) == pytest.approx(0.0, abs=1e-12)
+    assert js_divergence(p, q) >= -1e-12
+
+
+# ---------------------------------------------------------------------------
+# alignment-strategy invariants
+# ---------------------------------------------------------------------------
+SQUARE = st.integers(min_value=2, max_value=12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=SQUARE, seed=st.integers(0, 10_000))
+def test_hungarian_total_at_least_stable_marriage(n, seed):
+    sim = np.random.default_rng(seed).normal(size=(n, n))
+    hungarian_total = sim[np.arange(n), hungarian_alignment(sim)].sum()
+    sm = stable_marriage(sim)
+    sm_total = sim[np.arange(n), sm].sum()
+    assert hungarian_total >= sm_total - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=SQUARE, seed=st.integers(0, 10_000))
+def test_greedy_rowwise_dominates_any_assignment(n, seed):
+    sim = np.random.default_rng(seed).normal(size=(n, n))
+    greedy = greedy_alignment(sim)
+    hungarian = hungarian_alignment(sim)
+    row_scores_greedy = sim[np.arange(n), greedy]
+    row_scores_hungarian = sim[np.arange(n), hungarian]
+    # per-row, greedy picks the max: no assignment can beat it row-wise
+    assert np.all(row_scores_greedy >= row_scores_hungarian - 1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=SQUARE, m=SQUARE, seed=st.integers(0, 10_000))
+def test_stable_marriage_matching_is_injective(n, m, seed):
+    sim = np.random.default_rng(seed).normal(size=(n, m))
+    match = stable_marriage(sim)
+    matched = match[match >= 0]
+    assert len(set(matched.tolist())) == len(matched)
+    assert len(matched) == min(n, m)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=SQUARE, seed=st.integers(0, 10_000), k=st.integers(1, 5))
+def test_csls_preserves_shape_and_rowmax_shift_invariance(n, seed, k):
+    sim = np.random.default_rng(seed).normal(size=(n, n))
+    adjusted = csls(sim, k=k)
+    assert adjusted.shape == sim.shape
+    # adding a constant to the whole matrix shifts CSLS by nothing
+    shifted = csls(sim + 3.0, k=k)
+    np.testing.assert_allclose(shifted, adjusted, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=SQUARE, seed=st.integers(0, 10_000))
+def test_rank_metrics_consistency(n, seed):
+    """MRR <= Hits@1 never; Hits monotone in m; MR >= 1."""
+    sim = np.random.default_rng(seed).normal(size=(n, n))
+    metrics = rank_metrics(sim, np.arange(n), hits_at=(1, 3, 5))
+    assert metrics.hits_at(1) <= metrics.hits_at(3) <= metrics.hits_at(5)
+    assert metrics.mr >= 1.0
+    assert metrics.hits_at(1) <= metrics.mrr <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# KGPair invariants
+# ---------------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(triples=TRIPLES, seed=st.integers(0, 100))
+def test_splits_partition_alignment(triples, seed):
+    kg1 = KnowledgeGraph(triples, name="K1")
+    kg2 = KnowledgeGraph(
+        [(f"x{h}", r, f"x{t}") for h, r, t in triples], name="K2"
+    )
+    alignment = [(e, f"x{e}") for e in sorted(kg1.entities)]
+    pair = KGPair(kg1=kg1, kg2=kg2, alignment=alignment)
+    if len(alignment) < 10:
+        return
+    split = pair.split(seed=seed)
+    combined = split.train + split.valid + split.test
+    assert sorted(combined) == sorted(alignment)

@@ -1,0 +1,156 @@
+"""Tests for IDS, the baseline samplers and PageRank."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.datagen import source_pair
+from repro.kg import (
+    KGPair,
+    KnowledgeGraph,
+    degree_distribution,
+    isolated_entity_ratio,
+    js_divergence,
+)
+from repro.sampling import (
+    degree_biased_sample,
+    ids_sample,
+    pagerank,
+    prs_sample,
+    ras_sample,
+)
+
+
+@pytest.fixture(scope="module")
+def source():
+    return source_pair("EN-FR", n_entities=900, version="V1", seed=0)
+
+
+# ---------------------------------------------------------------------------
+# pagerank
+# ---------------------------------------------------------------------------
+def test_pagerank_sums_to_one(source):
+    ranks = pagerank(source.kg1)
+    assert sum(ranks.values()) == pytest.approx(1.0, abs=1e-6)
+
+
+def test_pagerank_empty_graph():
+    assert pagerank(KnowledgeGraph()) == {}
+
+
+def test_pagerank_matches_networkx(source):
+    ranks = pagerank(source.kg1)
+    graph = nx.Graph()
+    graph.add_nodes_from(source.kg1.entities)
+    graph.add_edges_from(
+        (h, t) for h, _, t in source.kg1.relation_triples if h != t
+    )
+    expected = nx.pagerank(graph, alpha=0.85)
+    worst = max(abs(ranks[e] - expected[e]) for e in ranks)
+    assert worst < 1e-3
+
+
+def test_pagerank_hub_ranks_high():
+    triples = [("hub", "r", f"leaf{i}") for i in range(20)]
+    triples += [("leaf0", "r", "leaf1")]
+    ranks = pagerank(KnowledgeGraph(triples))
+    assert ranks["hub"] == max(ranks.values())
+
+
+def test_pagerank_isolated_entities_get_teleport_mass():
+    kg = KnowledgeGraph(
+        relation_triples=[("a", "r", "b")],
+        attribute_triples=[("loner", "x", "1")],
+    )
+    ranks = pagerank(kg)
+    assert ranks["loner"] > 0.0
+
+
+# ---------------------------------------------------------------------------
+# IDS
+# ---------------------------------------------------------------------------
+def test_ids_reaches_target_size(source):
+    pair = ids_sample(source, 300, seed=0)
+    assert len(pair.alignment) <= 300
+    assert len(pair.alignment) > 240  # no catastrophic overshoot
+
+
+def test_ids_keeps_alignment_consistent(source):
+    pair = ids_sample(source, 300, seed=0)
+    ent1, ent2 = pair.kg1.entities, pair.kg2.entities
+    for a, b in pair.alignment:
+        assert a in ent1
+        assert b in ent2
+
+
+def test_ids_low_js_divergence(source):
+    result = ids_sample(source, 400, seed=0, return_details=True)
+    assert result.js1 < 0.08
+    assert result.js2 < 0.08
+
+
+def test_ids_no_isolates(source):
+    pair = ids_sample(source, 300, seed=0)
+    assert isolated_entity_ratio(pair.kg1) < 0.02
+    assert isolated_entity_ratio(pair.kg2) < 0.02
+
+
+def test_ids_validates_arguments(source):
+    with pytest.raises(ValueError):
+        ids_sample(source, 0)
+    with pytest.raises(ValueError):
+        ids_sample(source, 10**6)
+
+
+def test_ids_deterministic(source):
+    one = ids_sample(source, 300, seed=7)
+    two = ids_sample(source, 300, seed=7)
+    assert one.alignment == two.alignment
+
+
+# ---------------------------------------------------------------------------
+# baselines
+# ---------------------------------------------------------------------------
+def test_ras_exact_size(source):
+    pair = ras_sample(source, 250, seed=0)
+    assert len(pair.alignment) == 250
+
+
+def test_prs_exact_size(source):
+    pair = prs_sample(source, 250, seed=0)
+    assert len(pair.alignment) == 250
+
+
+def test_baselines_validate_size(source):
+    for sampler in (ras_sample, prs_sample, degree_biased_sample):
+        with pytest.raises(ValueError):
+            sampler(source, 0)
+        with pytest.raises(ValueError):
+            sampler(source, 10**6)
+
+
+def test_table3_quality_ordering(source):
+    """Paper Table 3: IDS beats PRS beats RAS on JS and isolation."""
+    reference = degree_distribution(source.kg1)
+
+    def quality(pair):
+        js = js_divergence(reference, degree_distribution(pair.kg1))
+        return js, isolated_entity_ratio(pair.kg1)
+
+    js_ids, iso_ids = quality(ids_sample(source, 200, seed=0))
+    js_ras, iso_ras = quality(ras_sample(source, 200, seed=0))
+    js_prs, iso_prs = quality(prs_sample(source, 200, seed=0))
+    assert js_ids < js_prs < js_ras
+    assert iso_ids < iso_ras
+    assert iso_ids < iso_prs
+
+
+def test_degree_biased_sample_is_denser(source):
+    biased = degree_biased_sample(source, 200, bias=2.0, seed=0)
+    plain = ras_sample(source, 200, seed=0)
+    assert biased.kg1.average_degree() > plain.kg1.average_degree()
+
+
+def test_samplers_preserve_metadata(source):
+    pair = ras_sample(source, 100, seed=0)
+    assert pair.metadata["family"] == "EN-FR"

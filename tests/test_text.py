@@ -1,0 +1,188 @@
+"""Tests for the text substrate: pseudo-translation, similarity, embeddings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import (
+    LANGUAGES,
+    CharEmbeddingTable,
+    WordEmbeddingTable,
+    jaccard_tokens,
+    levenshtein,
+    normalized_levenshtein,
+    pseudo_translate,
+    string_similarity,
+    translate_back,
+    trigram_similarity,
+)
+
+WORDS = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=12)
+
+
+# ---------------------------------------------------------------------------
+# pseudo-translation
+# ---------------------------------------------------------------------------
+def test_english_identity():
+    assert pseudo_translate("hello world", "en") == "hello world"
+
+
+def test_translation_changes_text():
+    assert pseudo_translate("hello world", "fr") != "hello world"
+    assert pseudo_translate("hello world", "de") != "hello world"
+
+
+def test_languages_differ():
+    assert pseudo_translate("mountain", "fr") != pseudo_translate("mountain", "de")
+
+
+def test_translation_deterministic():
+    assert pseudo_translate("alpha beta", "fr") == pseudo_translate("alpha beta", "fr")
+
+
+@settings(max_examples=50, deadline=None)
+@given(text=st.lists(WORDS, min_size=1, max_size=4).map(" ".join))
+def test_translate_roundtrip_property(text):
+    for lang in ("fr", "de"):
+        assert translate_back(pseudo_translate(text, lang), lang) == text
+
+
+def test_translate_back_with_errors_corrupts_some_tokens():
+    text = " ".join(f"word{i}" for i in range(200))
+    translated = pseudo_translate(text, "fr")
+    recovered = translate_back(translated, "fr", error_rate=0.3, seed=1)
+    original_tokens = text.split()
+    recovered_tokens = recovered.split()
+    wrong = sum(1 for a, b in zip(original_tokens, recovered_tokens) if a != b)
+    assert 30 <= wrong <= 90  # ~30% corruption
+
+
+def test_translate_back_error_deterministic():
+    translated = pseudo_translate("some tokens here", "de")
+    one = translate_back(translated, "de", error_rate=0.5, seed=9)
+    two = translate_back(translated, "de", error_rate=0.5, seed=9)
+    assert one == two
+
+
+def test_language_substitution_bijective():
+    for lang in LANGUAGES.values():
+        if not lang.substitution:
+            continue
+        assert len(set(lang.substitution.values())) == len(lang.substitution)
+        # vowels stay vowels, consonants stay consonants
+        for src, dst in lang.substitution.items():
+            assert (src in "aeiou") == (dst in "aeiou")
+
+
+# ---------------------------------------------------------------------------
+# string similarity
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "a,b,expected",
+    [("", "", 0), ("abc", "abc", 0), ("abc", "abd", 1), ("abc", "", 3),
+     ("kitten", "sitting", 3), ("flaw", "lawn", 2)],
+)
+def test_levenshtein_known_values(a, b, expected):
+    assert levenshtein(a, b) == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=WORDS, b=WORDS)
+def test_levenshtein_symmetry_property(a, b):
+    assert levenshtein(a, b) == levenshtein(b, a)
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=WORDS, b=WORDS, c=WORDS)
+def test_levenshtein_triangle_inequality(a, b, c):
+    assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+
+def test_normalized_levenshtein_bounds():
+    assert normalized_levenshtein("", "") == 1.0
+    assert normalized_levenshtein("abc", "abc") == 1.0
+    assert normalized_levenshtein("abc", "xyz") == 0.0
+
+
+def test_jaccard_tokens():
+    assert jaccard_tokens("a b c", "b c d") == pytest.approx(0.5)
+    assert jaccard_tokens("", "") == 1.0
+    assert jaccard_tokens("a", "b") == 0.0
+
+
+def test_trigram_similarity_identical_and_disjoint():
+    assert trigram_similarity("hello", "hello") == 1.0
+    assert trigram_similarity("aaa", "zzz") == 0.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=WORDS, b=WORDS)
+def test_string_similarity_bounds_property(a, b):
+    value = string_similarity(a, b)
+    assert 0.0 <= value <= 1.0
+    assert string_similarity(a, a) == 1.0
+
+
+# ---------------------------------------------------------------------------
+# embeddings
+# ---------------------------------------------------------------------------
+def test_word_vectors_unit_norm_and_deterministic():
+    table = WordEmbeddingTable(dim=24)
+    v1, v2 = table.vector("mountain"), table.vector("mountain")
+    np.testing.assert_allclose(v1, v2)
+    assert np.linalg.norm(v1) == pytest.approx(1.0)
+
+
+def test_cross_lingual_anchoring():
+    """A word and its pseudo-translation are close; unrelated words are not."""
+    en = WordEmbeddingTable(dim=32, language="en")
+    fr = WordEmbeddingTable(dim=32, language="fr", noise=0.1)
+    word = "everest"
+    translated = pseudo_translate(word, "fr")
+    sim_aligned = float(en.vector(word) @ fr.vector(translated))
+    sim_random = float(en.vector(word) @ fr.vector(pseudo_translate("banana", "fr")))
+    assert sim_aligned > 0.9
+    assert abs(sim_random) < 0.6
+
+
+def test_noise_zero_gives_exact_anchoring():
+    en = WordEmbeddingTable(dim=16, language="en")
+    fr = WordEmbeddingTable(dim=16, language="fr", noise=0.0)
+    word = "paris"
+    np.testing.assert_allclose(
+        en.vector(word), fr.vector(pseudo_translate(word, "fr")), atol=1e-12
+    )
+
+
+def test_embed_text_mean_and_empty():
+    table = WordEmbeddingTable(dim=8)
+    empty = table.embed_text("")
+    np.testing.assert_allclose(empty, np.zeros(8))
+    mean = table.embed_text("a b")
+    np.testing.assert_allclose(mean, (table.vector("a") + table.vector("b")) / 2)
+
+
+def test_unknown_language_rejected():
+    with pytest.raises(KeyError):
+        WordEmbeddingTable(language="klingon")
+
+
+def test_char_embedding_order_sensitive():
+    table = CharEmbeddingTable(dim=16)
+    a = table.embed_literal("abc")
+    b = table.embed_literal("cba")
+    assert not np.allclose(a, b)
+
+
+def test_char_embedding_similar_strings_close():
+    table = CharEmbeddingTable(dim=24)
+    a = table.embed_literal("mount everest")
+    b = table.embed_literal("mount everest!")
+    c = table.embed_literal("zzzzyyxx")
+    assert float(a @ b) > float(a @ c)
+
+
+def test_char_embedding_empty_literal():
+    table = CharEmbeddingTable(dim=8)
+    np.testing.assert_allclose(table.embed_literal(""), np.zeros(8))

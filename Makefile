@@ -1,4 +1,4 @@
-.PHONY: install test bench examples all
+.PHONY: install test verify bench serve-bench examples all
 
 install:
 	pip install -e . --no-build-isolation
@@ -6,8 +6,16 @@ install:
 test:
 	pytest tests/
 
+# tier-1 gate: the exact command CI runs
+verify:
+	PYTHONPATH=src python -m pytest -x -q
+
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# serving-layer throughput at smoke scale (full scale: drop the env var)
+serve-bench:
+	REPRO_SERVE_SCALES=2000 PYTHONPATH=src python -m pytest benchmarks/bench_serve_throughput.py --benchmark-only
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f; done

@@ -1,0 +1,156 @@
+"""Serving bench: exact vs LSH vs IVF throughput and recall at scale.
+
+Not a paper table — it quantifies the serving layer the ROADMAP asks
+for.  The workload mimics trained alignment embeddings (clustered unit
+vectors; real entity embeddings group by type/community, which is what
+both approximate indexes exploit) at several entity counts.
+
+Two measurements per index:
+
+* **raw search** — one ``index.search`` call over every source entity;
+  the speedup column compares this against exact full-pairwise search
+  on the same engine-free path (best of two runs each, so machine
+  noise hits all indexes alike);
+* **served traffic** — the same index behind a
+  :class:`repro.serve.QueryEngine` with micro-batching and an LRU
+  cache, so the p50/p95/p99 latency, QPS and cache hit-rate come from
+  ``repro.serve.metrics`` — the numbers a deployment would report.
+
+Scale knobs (environment variables):
+
+* ``REPRO_SERVE_SCALES`` — comma-separated entity counts
+  (default ``2000,10000``; ``make serve-bench`` runs the 2000 smoke)
+* ``REPRO_SERVE_DIM``    — embedding dimension (default 64)
+
+The 5x-speedup assertions only apply at scales >= 5000 entities; below
+that the exact matmul is too cheap for candidate pruning to pay off.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.serve import (
+    QueryEngine,
+    StoredEmbeddings,
+    make_index,
+    recall_vs_exact,
+)
+
+from _common import report
+
+SCALES = [int(s) for s in
+          os.environ.get("REPRO_SERVE_SCALES", "2000,10000").split(",")]
+DIM = int(os.environ.get("REPRO_SERVE_DIM", "64"))
+K = 10
+ENGINE_SAMPLE = 2000  # entities routed through the engine for telemetry
+CACHE_REPLAY = 500  # head-of-distribution entities re-queried for cache hits
+SPEEDUP_SCALE = 5000  # assert the 5x criterion only at or above this
+
+# serving-tuned configurations (class defaults lean toward recall);
+# 5 tables keeps recall ~0.94 on this workload while leaving wide
+# margin on the 5x criterion, which is the timing-noise-sensitive one
+INDEX_CONFIGS = {
+    "exact": {},
+    "lsh": {"n_bits": 6, "n_tables": 5, "probes": 0},
+    "ivf": {},
+}
+
+
+def _world(n: int, dim: int, seed: int = 0) -> StoredEmbeddings:
+    """Clustered source/target embeddings shaped like a trained run."""
+    rng = np.random.default_rng(seed)
+    n_centers = max(4, n // 100)
+    centers = rng.normal(size=(n_centers, dim))
+    target = centers[rng.integers(0, n_centers, size=n)] \
+        + 0.35 * rng.normal(size=(n, dim))
+    source = target + 0.15 * rng.normal(size=(n, dim))
+    return StoredEmbeddings(
+        version="bench",
+        sources=[f"s{i}" for i in range(n)],
+        targets=[f"t{i}" for i in range(n)],
+        source_matrix=source,
+        target_matrix=target,
+    )
+
+
+def _measure(stored: StoredEmbeddings, kind: str) -> dict:
+    source = np.asarray(stored.source_matrix)
+    target = np.asarray(stored.target_matrix)
+
+    index = make_index(kind, **INDEX_CONFIGS[kind])
+    started = time.perf_counter()
+    index.build(target)
+    build_seconds = time.perf_counter() - started
+
+    index.search(source[:128], k=K)  # warm the search path
+    search_seconds = float("inf")
+    for _ in range(2):
+        started = time.perf_counter()
+        index.search(source, k=K)
+        search_seconds = min(search_seconds,
+                             time.perf_counter() - started)
+
+    recall = recall_vs_exact(index, source, target, k=K, sample=256, seed=0)
+
+    # served traffic: micro-batched, cached, fully accounted
+    engine = QueryEngine(stored, index=make_index(kind,
+                                                  **INDEX_CONFIGS[kind]),
+                         k=K, batch_size=256, cache_size=2 * CACHE_REPLAY)
+    head = stored.sources[:min(ENGINE_SAMPLE, len(stored.sources))]
+    engine.query_batch(head)  # unique queries: all cache misses
+    engine.query_batch(head[-CACHE_REPLAY:])  # replayed: cache hits
+    summary = engine.metrics.summary()
+    summary.update(kind=kind, build_seconds=build_seconds,
+                   search_seconds=search_seconds, recall=recall)
+    return summary
+
+
+def bench_serve_throughput(benchmark):
+    def run():
+        return {
+            scale: {kind: _measure(_world(scale, DIM), kind)
+                    for kind in INDEX_CONFIGS}
+            for scale in SCALES
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [f"{'scale':>6s} {'index':6s} {'build':>7s} {'search':>7s} "
+            f"{'speedup':>7s} {'r@10':>5s} {'qps':>7s} "
+            f"{'p50':>7s} {'p95':>7s} {'p99':>7s} {'cache':>6s}"]
+    for scale, by_kind in results.items():
+        exact_seconds = by_kind["exact"]["search_seconds"]
+        for kind, s in by_kind.items():
+            speedup = exact_seconds / s["search_seconds"]
+            rows.append(
+                f"{scale:6d} {kind:6s} {s['build_seconds']:6.2f}s "
+                f"{s['search_seconds']:6.2f}s {speedup:6.1f}x "
+                f"{s['recall']:5.3f} {s['qps']:7.0f} "
+                f"{s['p50_ms']:5.1f}ms {s['p95_ms']:5.1f}ms "
+                f"{s['p99_ms']:5.1f}ms {s['cache_hit_rate']:6.1%}"
+            )
+    rows.append("")
+    rows.append("search/speedup: one index.search over every source entity")
+    rows.append("(best of 2) vs exact full-pairwise; r@10 vs exact on 256")
+    rows.append("sampled queries; qps/latency/cache: micro-batched engine")
+    rows.append(f"traffic over {ENGINE_SAMPLE} entities with the "
+                f"{CACHE_REPLAY} hottest replayed")
+    report("Serving - exact vs LSH vs IVF throughput", rows,
+           "serve_throughput.txt")
+
+    for scale, by_kind in results.items():
+        exact_seconds = by_kind["exact"]["search_seconds"]
+        assert by_kind["exact"]["recall"] == 1.0
+        for kind in ("lsh", "ivf"):
+            s = by_kind[kind]
+            assert s["recall"] >= 0.9, \
+                f"{kind}@{scale}: recall {s['recall']:.3f} < 0.9"
+            # telemetry must be populated for every run
+            assert s["p99_ms"] >= s["p50_ms"] > 0
+            assert s["cache_hit_rate"] > 0
+            if scale >= SPEEDUP_SCALE:
+                speedup = exact_seconds / s["search_seconds"]
+                assert speedup >= 5.0, \
+                    f"{kind}@{scale}: speedup {speedup:.1f}x < 5x"

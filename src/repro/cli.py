@@ -1,14 +1,17 @@
-"""Command-line interface: generate benchmark datasets in OpenEA layout.
+"""Command-line interface: dataset tooling and the serving layer.
 
-Mirrors how the paper's datasets were released: a directory per dataset
-with ``rel_triples_*``, ``attr_triples_*``, ``ent_links`` and the
-``721_5fold`` splits.
+Dataset verbs mirror how the paper's datasets were released: a
+directory per dataset with ``rel_triples_*``, ``attr_triples_*``,
+``ent_links`` and the ``721_5fold`` splits.  Serving verbs turn a
+trained run into a queryable deployment (see ``docs/serving.md``).
 
 Usage::
 
     python -m repro.cli generate --family EN-FR --size 1500 --version V1 \
         --out datasets/EN_FR_15K_V1
     python -m repro.cli stats datasets/EN_FR_15K_V1
+    python -m repro.cli serve-build --store store/ --family EN-FR --size 200
+    python -m repro.cli serve-query --store store/ --index ivf --sample 5
 """
 
 from __future__ import annotations
@@ -50,6 +53,47 @@ def build_parser() -> argparse.ArgumentParser:
         "validate", help="check a dataset's benchmark invariants"
     )
     validate.add_argument("directory", type=Path)
+
+    build = commands.add_parser(
+        "serve-build",
+        help="train (or import) embeddings and persist a store version",
+    )
+    build.add_argument("--store", type=Path, required=True,
+                       help="embedding store directory")
+    build.add_argument("--snapshot", type=Path,
+                       help="import an existing EmbeddingSnapshot .npz "
+                            "instead of training")
+    build.add_argument("--family", choices=sorted(FAMILIES), default="EN-FR")
+    build.add_argument("--size", type=int, default=200)
+    build.add_argument("--dataset-version", choices=["V1", "V2"],
+                       default="V1")
+    build.add_argument("--method", choices=["ids", "ras", "prs", "direct"],
+                       default="direct")
+    build.add_argument("--approach", default="MTransE")
+    build.add_argument("--dim", type=int, default=32)
+    build.add_argument("--epochs", type=int, default=20)
+    build.add_argument("--seed", type=int, default=0)
+    build.add_argument("--note", default="",
+                       help="free-text note recorded in the manifest")
+
+    query = commands.add_parser(
+        "serve-query", help="answer alignment queries from a store version"
+    )
+    query.add_argument("--store", type=Path, required=True)
+    query.add_argument("--store-version", default=None,
+                       help="version id (default: latest)")
+    query.add_argument("--index", choices=["exact", "lsh", "ivf"],
+                       default="exact")
+    query.add_argument("--k", type=int, default=5)
+    query.add_argument("--entity", action="append", default=[],
+                       help="source entity to align (repeatable)")
+    query.add_argument("--sample", type=int, default=0,
+                       help="additionally query N random source entities")
+    query.add_argument("--seed", type=int, default=0)
+    query.add_argument("--batch-size", type=int, default=256)
+    query.add_argument("--cache-size", type=int, default=1024)
+    query.add_argument("--recall-sample", type=int, default=0,
+                       help="estimate recall@k vs exact on N sampled queries")
 
     return parser
 
@@ -95,6 +139,97 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve_build(args: argparse.Namespace) -> int:
+    from .pipeline.checkpoint import EmbeddingSnapshot, load_snapshot
+    from .serve import EmbeddingStore
+
+    metadata = {"note": args.note} if args.note else {}
+    if args.snapshot is not None:
+        if not args.snapshot.is_file():
+            print(f"error: {args.snapshot} is not a file", file=sys.stderr)
+            return 2
+        snapshot = load_snapshot(args.snapshot)
+        metadata["imported_from"] = str(args.snapshot)
+    else:
+        from .approaches import ApproachConfig, get_approach
+
+        pair = benchmark_pair(
+            args.family, size=args.size, version=args.dataset_version,
+            seed=args.seed, method=args.method,
+        )
+        split = pair.five_fold_splits(seed=args.seed)[0]
+        approach = get_approach(
+            args.approach,
+            ApproachConfig(dim=args.dim, epochs=args.epochs, valid_every=0),
+        )
+        approach.fit(pair, split)
+        snapshot = EmbeddingSnapshot.from_approach(approach, pair.alignment)
+        metadata.update({
+            "dataset": pair.name, "approach": args.approach,
+            "dim": args.dim, "epochs": args.epochs, "seed": args.seed,
+        })
+    store = EmbeddingStore(args.store)
+    version = store.save(snapshot, metadata=metadata)
+    print(f"stored {version} in {args.store}: "
+          f"{len(snapshot.sources)} sources x {len(snapshot.targets)} "
+          f"targets, dim {snapshot.source_matrix.shape[1]} "
+          f"({snapshot.name})")
+    return 0
+
+
+def _cmd_serve_query(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .serve import EmbeddingStore, QueryEngine, recall_vs_exact
+
+    if not args.store.is_dir():
+        print(f"error: {args.store} is not a directory", file=sys.stderr)
+        return 2
+    store = EmbeddingStore(args.store)
+    try:
+        stored = store.load(version=args.store_version)
+    except (FileNotFoundError, KeyError) as error:
+        # KeyError's str() wraps the message in repr quotes
+        message = error.args[0] if error.args else error
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    engine = QueryEngine(stored, index=args.index, k=args.k,
+                         batch_size=args.batch_size,
+                         cache_size=args.cache_size)
+    entities = list(args.entity)
+    unknown = [e for e in entities if e not in stored.sources]
+    if unknown:
+        print(f"error: unknown source entities {unknown[:5]}",
+              file=sys.stderr)
+        return 2
+    if args.sample > 0:
+        rng = np.random.default_rng(args.seed)
+        picks = rng.choice(len(stored.sources),
+                           size=min(args.sample, len(stored.sources)),
+                           replace=False)
+        entities.extend(stored.sources[int(i)] for i in picks)
+    if not entities:
+        print("error: nothing to query (use --entity and/or --sample)",
+              file=sys.stderr)
+        return 2
+    print(f"serving {stored.version} ({stored.name}) via {args.index} index")
+    for result in engine.query_batch(entities):
+        ranked = ", ".join(f"{name}:{score:.3f}"
+                           for name, score in result.neighbors[:args.k])
+        print(f"  {result.query} -> {result.best} "
+              f"(confidence {result.confidence:.3f}) [{ranked}]")
+    if args.recall_sample > 0:
+        recall = recall_vs_exact(
+            engine.index, np.asarray(stored.source_matrix),
+            np.asarray(stored.target_matrix), k=args.k,
+            sample=args.recall_sample, seed=args.seed,
+        )
+        print(f"recall@{args.k} vs exact (n={args.recall_sample}): "
+              f"{recall:.3f}")
+    print(engine.metrics.format())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -104,8 +239,21 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_stats(args)
     if args.command == "validate":
         return _cmd_validate(args)
+    if args.command == "serve-build":
+        return _cmd_serve_build(args)
+    if args.command == "serve-query":
+        return _cmd_serve_query(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    import os
+
+    try:
+        code = main()
+    except BrokenPipeError:  # e.g. `python -m repro.cli ... | head`
+        # redirect stdout to devnull so interpreter shutdown does not
+        # raise a second BrokenPipeError while flushing
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 128 + 13  # the shell convention for SIGPIPE
+    raise SystemExit(code)

@@ -1,0 +1,40 @@
+"""Online entity-alignment serving: store -> index -> engine -> metrics.
+
+The training side of the repository answers "how good is approach X?";
+this package answers "align this entity now".  A trained run is frozen
+into a versioned :class:`EmbeddingStore`, loaded back memory-mapped,
+indexed by one of the pluggable ANN indexes (exact / multi-probe LSH /
+IVF) and served through a batched, cached :class:`QueryEngine` whose
+traffic is measured by :class:`ServingMetrics` — including sampled
+recall of the approximate index against exact search.
+
+Quickstart::
+
+    from repro.serve import EmbeddingStore, QueryEngine
+
+    store = EmbeddingStore("store/")
+    store.save(snapshot)                      # EmbeddingSnapshot from training
+    engine = QueryEngine(store.load(), index="ivf", k=10)
+    print(engine.query("entity_42").neighbors)
+    print(engine.metrics.format())
+"""
+
+from .engine import QueryEngine, QueryResult
+from .index import (
+    ANNIndex,
+    ExactIndex,
+    INDEX_KINDS,
+    IVFIndex,
+    LSHIndex,
+    make_index,
+)
+from .metrics import LatencyHistogram, ServingMetrics, recall_vs_exact
+from .store import EmbeddingStore, StoredEmbeddings
+
+__all__ = [
+    "EmbeddingStore", "StoredEmbeddings",
+    "ANNIndex", "ExactIndex", "LSHIndex", "IVFIndex",
+    "INDEX_KINDS", "make_index",
+    "QueryEngine", "QueryResult",
+    "ServingMetrics", "LatencyHistogram", "recall_vs_exact",
+]

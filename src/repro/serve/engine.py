@@ -1,0 +1,143 @@
+"""Batched query engine: "align this entity now", observably.
+
+The engine owns one store version and one ANN index and turns entity
+names into ranked alignment candidates:
+
+* **micro-batching** — lookups are grouped into index batches of at
+  most ``batch_size`` queries, bounding per-request latency and peak
+  memory while amortizing the per-call numpy overhead;
+* **LRU cache** — repeated queries (the head of any real traffic
+  distribution) are served from an ``(entity, k)``-keyed cache without
+  touching the index;
+* **confidence** — each answer carries the top-1/top-2 cosine margin,
+  the standard serving-time proxy for alignment certainty (a crowded
+  neighborhood means an unreliable match).
+
+All traffic is accounted in a :class:`~repro.serve.metrics.ServingMetrics`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from .index import ANNIndex, make_index
+from .metrics import ServingMetrics
+from .store import StoredEmbeddings
+
+__all__ = ["QueryEngine", "QueryResult"]
+
+
+@dataclass
+class QueryResult:
+    """Ranked alignment candidates for one source entity."""
+
+    query: str
+    neighbors: list[tuple[str, float]]  # (target entity, cosine score)
+    confidence: float  # top-1 minus top-2 score; 0 when < 2 candidates
+
+    @property
+    def best(self) -> str | None:
+        return self.neighbors[0][0] if self.neighbors else None
+
+
+class QueryEngine:
+    """Serve top-k alignment queries over a :class:`StoredEmbeddings`."""
+
+    def __init__(self, stored: StoredEmbeddings,
+                 index: ANNIndex | str = "exact",
+                 k: int = 10, batch_size: int = 256, cache_size: int = 1024,
+                 metrics: ServingMetrics | None = None, **index_params):
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.stored = stored
+        self.index = (make_index(index, **index_params)
+                      if isinstance(index, str) else index)
+        self.k = k
+        self.batch_size = batch_size
+        self.cache_size = cache_size
+        self.metrics = metrics or ServingMetrics()
+        self._cache: OrderedDict[tuple[str, int], QueryResult] = OrderedDict()
+        self.index.build(np.asarray(stored.target_matrix))
+
+    # ------------------------------------------------------------------
+    def query(self, entity: str, k: int | None = None) -> QueryResult:
+        """Align one source entity."""
+        return self.query_batch([entity], k=k)[0]
+
+    def query_batch(self, entities: list[str],
+                    k: int | None = None) -> list[QueryResult]:
+        """Align many source entities; cache first, micro-batch the rest."""
+        k = self.k if k is None else k
+        results: dict[int, QueryResult] = {}
+        missed: list[int] = []
+        hits = 0
+        for position, entity in enumerate(entities):
+            cached = self._cache_get((entity, k))
+            if cached is not None:
+                results[position] = cached
+                hits += 1
+            else:
+                missed.append(position)
+        self.metrics.record_cache(hits=hits, misses=len(missed))
+        for start in range(0, len(missed), self.batch_size):
+            chunk = missed[start:start + self.batch_size]
+            with self.metrics.time_batch() as timer:
+                timer.n_queries = len(chunk)
+                rows = [self.stored.source_row(entities[p]) for p in chunk]
+                vectors = np.asarray(self.stored.source_matrix[rows])
+                ids, scores = self.index.search(vectors, k=k)
+            for out_row, position in enumerate(chunk):
+                result = self._to_result(entities[position], ids[out_row],
+                                         scores[out_row])
+                results[position] = result
+                self._cache_put((entities[position], k), result)
+        return [results[position] for position in range(len(entities))]
+
+    def query_vectors(self, vectors: np.ndarray,
+                      k: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """Raw vector interface (no names, no cache): ``(ids, scores)``."""
+        k = self.k if k is None else k
+        with self.metrics.time_batch() as timer:
+            timer.n_queries = len(vectors)
+            ids, scores = self.index.search(np.asarray(vectors), k=k)
+        self.metrics.record_cache(misses=len(vectors))
+        return ids, scores
+
+    # ------------------------------------------------------------------
+    def _to_result(self, entity: str, ids: np.ndarray,
+                   scores: np.ndarray) -> QueryResult:
+        neighbors = [
+            (self.stored.targets[int(target)], float(score))
+            for target, score in zip(ids, scores) if target >= 0
+        ]
+        if len(neighbors) >= 2:
+            confidence = neighbors[0][1] - neighbors[1][1]
+        else:
+            confidence = 0.0
+        return QueryResult(query=entity, neighbors=neighbors,
+                           confidence=confidence)
+
+    def _cache_get(self, key: tuple[str, int]) -> QueryResult | None:
+        if self.cache_size <= 0:
+            return None
+        result = self._cache.get(key)
+        if result is not None:
+            self._cache.move_to_end(key)
+        return result
+
+    def _cache_put(self, key: tuple[str, int], result: QueryResult) -> None:
+        if self.cache_size <= 0:
+            return
+        self._cache[key] = result
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    @property
+    def cache_len(self) -> int:
+        return len(self._cache)

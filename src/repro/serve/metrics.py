@@ -1,0 +1,164 @@
+"""Serving telemetry: latency histograms, QPS, cache and recall tracking.
+
+A production alignment service is only as good as its observability —
+"A Critical Assessment of State-of-the-Art in Entity Alignment"
+(arXiv:2010.16314) argues that serving-time candidate ranking must
+report calibrated top-k quality, so besides the classic latency/QPS/
+cache counters this module can estimate an approximate index's
+recall@k against exact search on a query sample.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..alignment.streaming import topk_similarity
+
+__all__ = ["LatencyHistogram", "ServingMetrics", "recall_vs_exact"]
+
+
+class LatencyHistogram:
+    """Latency observations with percentile reporting.
+
+    Stores raw samples (seconds); percentiles are exact, not bucketed —
+    at serving-bench scales the sample count stays small enough that
+    ``np.percentile`` over the raw data beats maintaining HDR buckets.
+    """
+
+    def __init__(self):
+        self._samples: list[float] = []
+
+    def observe(self, seconds: float) -> None:
+        self._samples.append(float(seconds))
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile in seconds (nan when empty)."""
+        if not self._samples:
+            return float("nan")
+        return float(np.percentile(self._samples, q))
+
+    def summary(self) -> dict[str, float]:
+        """p50/p95/p99 in milliseconds, plus the sample count."""
+        return {
+            "count": self.count,
+            "p50_ms": self.percentile(50) * 1e3,
+            "p95_ms": self.percentile(95) * 1e3,
+            "p99_ms": self.percentile(99) * 1e3,
+        }
+
+
+class ServingMetrics:
+    """Counters for one serving session (engine + index + cache)."""
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self.latency = LatencyHistogram()
+        self.queries = 0
+        self.batches = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._busy_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    def time_batch(self):
+        """Context manager timing one micro-batch."""
+        return _BatchTimer(self)
+
+    def record_batch(self, n_queries: int, seconds: float) -> None:
+        self.queries += int(n_queries)
+        self.batches += 1
+        self._busy_seconds += float(seconds)
+        self.latency.observe(seconds)
+
+    def record_cache(self, hits: int = 0, misses: int = 0) -> None:
+        self.cache_hits += int(hits)
+        self.cache_misses += int(misses)
+
+    # ------------------------------------------------------------------
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def qps(self) -> float:
+        """Queries per second of index service time (cache hits excluded)."""
+        return self.queries / self._busy_seconds if self._busy_seconds else 0.0
+
+    def summary(self) -> dict[str, float]:
+        out = {
+            "queries": self.queries,
+            "batches": self.batches,
+            "qps": self.qps,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+        }
+        out.update(self.latency.summary())
+        return out
+
+    def format(self) -> str:
+        s = self.summary()
+        return (
+            f"queries={s['queries']} batches={s['batches']} "
+            f"qps={s['qps']:.0f} "
+            f"latency p50={s['p50_ms']:.2f}ms p95={s['p95_ms']:.2f}ms "
+            f"p99={s['p99_ms']:.2f}ms "
+            f"cache hit-rate={s['cache_hit_rate']:.1%} "
+            f"({s['cache_hits']}/{s['cache_hits'] + s['cache_misses']})"
+        )
+
+
+class _BatchTimer:
+    def __init__(self, metrics: ServingMetrics):
+        self._metrics = metrics
+        self._started = 0.0
+        self.n_queries = 0
+
+    def __enter__(self):
+        self._started = self._metrics._clock()
+        return self
+
+    def __exit__(self, *exc):
+        elapsed = self._metrics._clock() - self._started
+        self._metrics.record_batch(self.n_queries, elapsed)
+        return False
+
+
+def recall_vs_exact(
+    index,
+    queries: np.ndarray,
+    targets: np.ndarray,
+    k: int = 10,
+    sample: int = 256,
+    seed: int = 0,
+) -> float:
+    """Mean recall@k of ``index`` against exact search on a query sample.
+
+    Samples ``sample`` query rows, computes the exact cosine top-k via
+    :func:`repro.alignment.topk_similarity`, and reports the average
+    fraction of exact neighbors the index retrieved.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    queries = np.asarray(queries, dtype=np.float64)
+    rows = np.arange(len(queries))
+    if sample and sample < len(queries):
+        rows = np.random.default_rng(seed).choice(
+            len(queries), size=sample, replace=False
+        )
+    sampled = queries[rows]
+    k = min(k, len(targets))
+    exact_ids, _ = topk_similarity(sampled, targets, k=k)
+    got_ids, _ = index.search(sampled, k=k)
+    hits = 0
+    for row in range(len(sampled)):
+        hits += len(set(exact_ids[row].tolist())
+                    & set(got_ids[row, got_ids[row] >= 0].tolist()))
+    return hits / (len(sampled) * k)

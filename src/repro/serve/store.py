@@ -1,0 +1,202 @@
+"""Versioned on-disk embedding store for the serving layer.
+
+Training is the expensive step; serving must reload its artifacts in
+milliseconds and survive redeploys.  An :class:`EmbeddingStore` is a
+directory of immutable versions::
+
+    store/
+      manifest.json            # version registry + checksums + metadata
+      v001/
+        source_matrix.npy      # mmap-able (np.load(..., mmap_mode="r"))
+        target_matrix.npy
+        vocab.json             # entity name lists + metric + model name
+      v002/ ...
+
+Matrices are stored as raw ``.npy`` (not inside an ``.npz`` archive)
+precisely so :func:`numpy.load` can memory-map them — a zipped archive
+would force a full copy into RAM at every load.  The manifest is JSON
+so operators can inspect a deployment with ``cat``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..pipeline.checkpoint import EmbeddingSnapshot
+
+__all__ = ["EmbeddingStore", "StoredEmbeddings"]
+
+_MANIFEST = "manifest.json"
+_VOCAB = "vocab.json"
+_SOURCE = "source_matrix.npy"
+_TARGET = "target_matrix.npy"
+
+
+@dataclass
+class StoredEmbeddings:
+    """One loaded store version; matrices may be ``np.memmap`` views."""
+
+    version: str
+    sources: list[str]
+    targets: list[str]
+    source_matrix: np.ndarray
+    target_matrix: np.ndarray
+    metric: str = "cosine"
+    name: str = "snapshot"
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if len(self.sources) != len(self.source_matrix):
+            raise ValueError("source names and matrix rows disagree")
+        if len(self.targets) != len(self.target_matrix):
+            raise ValueError("target names and matrix rows disagree")
+        self._source_row = {e: i for i, e in enumerate(self.sources)}
+        self._target_row = {e: i for i, e in enumerate(self.targets)}
+
+    def source_row(self, entity: str) -> int:
+        return self._source_row[entity]
+
+    def target_row(self, entity: str) -> int:
+        return self._target_row[entity]
+
+    @property
+    def dim(self) -> int:
+        return int(self.source_matrix.shape[1])
+
+    def snapshot(self) -> EmbeddingSnapshot:
+        """Materialize as an in-memory :class:`EmbeddingSnapshot`."""
+        return EmbeddingSnapshot(
+            self.sources, np.asarray(self.source_matrix),
+            self.targets, np.asarray(self.target_matrix),
+            metric=self.metric, name=self.name,
+        )
+
+
+def _checksum(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+class EmbeddingStore:
+    """Append-only registry of embedding versions under one root."""
+
+    def __init__(self, root: Path | str):
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    def _manifest_path(self) -> Path:
+        return self.root / _MANIFEST
+
+    def describe(self) -> dict:
+        """The manifest contents (``{"versions": [...]}``)."""
+        path = self._manifest_path()
+        if not path.exists():
+            return {"versions": []}
+        return json.loads(path.read_text(encoding="utf-8"))
+
+    def _write_manifest(self, manifest: dict) -> None:
+        tmp = self._manifest_path().with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True),
+                       encoding="utf-8")
+        tmp.replace(self._manifest_path())
+
+    def versions(self) -> list[str]:
+        return [entry["id"] for entry in self.describe()["versions"]]
+
+    def latest(self) -> str | None:
+        versions = self.versions()
+        return versions[-1] if versions else None
+
+    # ------------------------------------------------------------------
+    def save(self, snapshot: EmbeddingSnapshot,
+             metadata: dict | None = None) -> str:
+        """Persist a snapshot as the next version; returns its id."""
+        manifest = self.describe()
+        version = f"v{len(manifest['versions']) + 1:03d}"
+        directory = self.root / version
+        directory.mkdir(parents=True, exist_ok=False)
+        np.save(directory / _SOURCE, np.ascontiguousarray(
+            snapshot.source_matrix))
+        np.save(directory / _TARGET, np.ascontiguousarray(
+            snapshot.target_matrix))
+        vocab = {
+            "sources": list(snapshot.sources),
+            "targets": list(snapshot.targets),
+            "metric": snapshot.metric,
+            "name": snapshot.name,
+        }
+        (directory / _VOCAB).write_text(json.dumps(vocab),
+                                        encoding="utf-8")
+        manifest["versions"].append({
+            "id": version,
+            "name": snapshot.name,
+            "metric": snapshot.metric,
+            "n_sources": len(snapshot.sources),
+            "n_targets": len(snapshot.targets),
+            "dim": int(snapshot.source_matrix.shape[1]),
+            "checksums": {
+                _SOURCE: _checksum(directory / _SOURCE),
+                _TARGET: _checksum(directory / _TARGET),
+            },
+            "metadata": dict(metadata or {}),
+        })
+        self._write_manifest(manifest)
+        return version
+
+    def save_cv_result(self, result, pairs: list[tuple[str, str]],
+                       metadata: dict | None = None) -> str:
+        """Persist the best fold of a :class:`repro.pipeline.CVResult`.
+
+        Picks the fold with the highest test Hits@1 — the model a
+        deployment would actually promote — and records which fold won.
+        """
+        if not result.folds:
+            raise ValueError("CVResult has no folds to persist")
+        best = max(range(len(result.folds)),
+                   key=lambda i: result.folds[i].metrics.hits_at(1))
+        approach = result.folds[best].approach
+        snapshot = EmbeddingSnapshot.from_approach(approach, pairs,
+                                                   name=result.name)
+        info = {"dataset": result.dataset, "fold": best,
+                "hits@1": result.folds[best].metrics.hits_at(1)}
+        info.update(metadata or {})
+        return self.save(snapshot, metadata=info)
+
+    # ------------------------------------------------------------------
+    def load(self, version: str | None = None,
+             mmap: bool = True) -> StoredEmbeddings:
+        """Load a version (default: latest), memory-mapped by default."""
+        manifest = self.describe()
+        if not manifest["versions"]:
+            raise FileNotFoundError(f"empty embedding store at {self.root}")
+        if version is None:
+            entry = manifest["versions"][-1]
+        else:
+            matches = [e for e in manifest["versions"] if e["id"] == version]
+            if not matches:
+                raise KeyError(
+                    f"version {version!r} not in store "
+                    f"(have {self.versions()})"
+                )
+            entry = matches[0]
+        directory = self.root / entry["id"]
+        vocab = json.loads((directory / _VOCAB).read_text(encoding="utf-8"))
+        mmap_mode = "r" if mmap else None
+        return StoredEmbeddings(
+            version=entry["id"],
+            sources=vocab["sources"],
+            targets=vocab["targets"],
+            source_matrix=np.load(directory / _SOURCE, mmap_mode=mmap_mode),
+            target_matrix=np.load(directory / _TARGET, mmap_mode=mmap_mode),
+            metric=vocab["metric"],
+            name=vocab["name"],
+            metadata=dict(entry.get("metadata", {})),
+        )

@@ -5,6 +5,7 @@ builtin ``hash()``, which Python randomizes per process: datasets (and
 therefore all experiment results) silently changed between runs.
 """
 
+import os
 import subprocess
 import sys
 
@@ -25,10 +26,15 @@ print(hash(tuple(sorted(sampled.alignment))))
 
 
 def _run_probe(hash_seed: str) -> str:
+    # A minimal env would drop PYTHONPATH and break ``import repro`` when
+    # the package is used from a source checkout, so build the import path
+    # from the parent's live ``sys.path`` instead of trusting the variable.
+    python_path = os.pathsep.join(p for p in sys.path if p)
     result = subprocess.run(
         [sys.executable, "-c", _PROBE.replace("hash(", "repr(")],
         capture_output=True, text=True,
-        env={"PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin"},
+        env={"PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin",
+             "PYTHONPATH": python_path},
     )
     assert result.returncode == 0, result.stderr
     return result.stdout

@@ -125,9 +125,54 @@ def test_blocked_alignment_prunes_and_mostly_agrees():
 def test_blocked_alignment_reports_no_candidates_as_minus_one():
     rng = np.random.default_rng(4)
     # orthogonal clusters: some queries may land in empty buckets with one
-    # aggressive table
+    # aggressive table (legacy behaviour, kept reachable via fallback="none")
+    source = rng.normal(size=(50, 8))
+    target = rng.normal(size=(5, 8))
+    assignment, _ = blocked_greedy_alignment(source, target, n_bits=10,
+                                             n_tables=1, seed=1,
+                                             fallback="none")
+    assert ((assignment >= -1) & (assignment < 5)).all()
+
+
+def test_lsh_empty_bucket_fallback_rescues_queries():
+    # regression: queries hashing into empty buckets used to silently get
+    # zero candidates; with 2^10 buckets and 5 indexed vectors almost every
+    # query bucket is empty
+    rng = np.random.default_rng(4)
+    queries = rng.normal(size=(50, 8))
+    target = rng.normal(size=(5, 8))
+    lsh = HyperplaneLSH(8, n_bits=10, n_tables=1, seed=1)
+    lsh.index(target)
+    starved = [c.size for c in lsh.candidates(queries, fallback="none")]
+    assert 0 in starved, "scenario must actually produce empty buckets"
+    for fallback in ("nearest", "exact"):
+        rescued = lsh.candidates(queries, fallback=fallback)
+        assert all(c.size > 0 for c in rescued)
+    # exact fallback hands starved queries the whole index
+    exact = lsh.candidates(queries, fallback="exact")
+    for count, candidates in zip(starved, exact):
+        if count == 0:
+            assert candidates.size == 5
+    with pytest.raises(ValueError):
+        lsh.candidates(queries, fallback="best-effort")
+
+
+def test_blocked_alignment_fallback_leaves_no_query_unanswered():
+    rng = np.random.default_rng(4)
     source = rng.normal(size=(50, 8))
     target = rng.normal(size=(5, 8))
     assignment, _ = blocked_greedy_alignment(source, target, n_bits=10,
                                              n_tables=1, seed=1)
-    assert ((assignment >= -1) & (assignment < 5)).all()
+    assert (assignment >= 0).all()  # default fallback answers every query
+
+
+def test_lsh_multi_probe_expands_candidates():
+    rng = np.random.default_rng(5)
+    target = rng.normal(size=(200, 16))
+    queries = rng.normal(size=(50, 16))
+    lsh = HyperplaneLSH(16, n_bits=8, n_tables=2, seed=0)
+    lsh.index(target)
+    plain = sum(c.size for c in lsh.candidates(queries, fallback="none"))
+    probed = sum(c.size
+                 for c in lsh.candidates(queries, probes=2, fallback="none"))
+    assert probed > plain  # flipped low-margin bits visit extra buckets

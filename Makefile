@@ -1,10 +1,14 @@
-.PHONY: install test verify bench serve-bench examples all
+.PHONY: install test test-fast verify bench serve-bench train-bench train-bench-smoke examples all
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	pytest tests/
+
+# skip tests marked slow (full approach training loops)
+test-fast:
+	PYTHONPATH=src python -m pytest -q -m "not slow"
 
 # tier-1 gate: the exact command CI runs
 verify:
@@ -16,6 +20,13 @@ bench:
 # serving-layer throughput at smoke scale (full scale: drop the env var)
 serve-bench:
 	REPRO_SERVE_SCALES=2000 PYTHONPATH=src python -m pytest benchmarks/bench_serve_throughput.py --benchmark-only
+
+# dense-vs-sparse training-step throughput (docs/performance.md)
+train-bench:
+	PYTHONPATH=src python benchmarks/bench_train_throughput.py
+
+train-bench-smoke:
+	PYTHONPATH=src python benchmarks/bench_train_throughput.py --smoke
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f; done

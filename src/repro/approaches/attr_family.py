@@ -87,6 +87,7 @@ class LiteralBlendApproach(UnifiedTransApproach):
             self.model.parameters() + [self._pull_projection],
             self.config.lr,
         )
+        self.optimizer.track_touched = self.config.lazy_normalize
 
     def _parameters(self):
         params = super()._parameters()

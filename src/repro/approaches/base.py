@@ -49,6 +49,10 @@ class ApproachConfig:
     patience: int = 2  # consecutive non-improving checks before stopping
     use_attributes: bool = True
     use_relations: bool = True
+    # With the sparse gradient path, per-epoch normalization can be
+    # restricted to the rows actually updated this epoch (O(touched)
+    # instead of O(|E|)); off by default to preserve the paper protocol.
+    lazy_normalize: bool = False
 
 
 @dataclass(frozen=True)
@@ -87,6 +91,14 @@ class TrainingLog:
     epochs_run: int = 0
     best_epoch: int = 0
     train_seconds: float = 0.0
+    steps_run: int = 0  # optimizer steps, for throughput reporting
+
+    @property
+    def steps_per_second(self) -> float:
+        """Training throughput (0.0 when nothing was timed)."""
+        if self.train_seconds <= 0.0 or self.steps_run <= 0:
+            return 0.0
+        return self.steps_run / self.train_seconds
 
 
 class PairData:
@@ -198,6 +210,20 @@ class EmbeddingApproach:
     def _parameters(self):
         """All trainable parameters (used for best-snapshot restore)."""
         raise NotImplementedError
+
+    def _normalize_model(self) -> None:
+        """Per-epoch entity renormalization for approaches with a
+        ``self.model`` relation model and ``self.optimizer``.
+
+        With ``lazy_normalize`` only the entity rows the optimizer
+        updated since the last epoch are projected back onto the unit
+        sphere — O(touched) instead of O(|E|) on the sparse path.
+        """
+        if self.config.lazy_normalize:
+            rows = self.optimizer.consume_touched(self.model.entities.table)
+            self.model.normalize(rows=rows)
+        else:
+            self.model.normalize()
 
     def _source_matrix(self, entities: list[str]) -> np.ndarray:
         """Embeddings of KG1 entities, mapped into the comparison space."""

@@ -79,6 +79,7 @@ class GCNApproachBase(EmbeddingApproach):
             loss.backward()
             self.optimizer.step()
             total += float(loss.data)
+        self.log.steps_run += self.steps_per_epoch
         return total / self.steps_per_epoch
 
     input_blend = 0.0  # weight of the raw input features at inference

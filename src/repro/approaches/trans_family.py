@@ -77,6 +77,7 @@ class MTransE(EmbeddingApproach):
         self.seeds = self.data.seed_id_pairs(split.train)
         parameters = self.model.parameters() + [self.transform]
         self.optimizer = get_optimizer(config.optimizer, parameters, config.lr)
+        self.optimizer.track_touched = config.lazy_normalize
 
     def _parameters(self):
         return self.model.parameters() + [self.transform]
@@ -113,7 +114,8 @@ class MTransE(EmbeddingApproach):
             self.optimizer.step()
             total += float(loss.data)
             batches += 1
-        self.model.normalize()
+        self.log.steps_run += batches
+        self._normalize_model()
         return total / max(batches, 1)
 
     def _alignment_loss(self) -> Tensor:
@@ -170,6 +172,7 @@ class SEA(MTransE):
         ]
         parameters = self._parameters()
         self.optimizer = get_optimizer(self.config.optimizer, parameters, self.config.lr)
+        self.optimizer.track_touched = self.config.lazy_normalize
 
     def _parameters(self):
         return super()._parameters() + [self.back_transform]
@@ -224,6 +227,7 @@ class UnifiedTransApproach(EmbeddingApproach):
         self.optimizer = get_optimizer(
             config.optimizer, self.model.parameters(), config.lr
         )
+        self.optimizer.track_touched = config.lazy_normalize
         self.seeds = self.data.seed_id_pairs(split.train)
         # augmented alignment proposed during semi-supervised training
         self.augmented: dict[int, int] = {}
@@ -298,7 +302,8 @@ class UnifiedTransApproach(EmbeddingApproach):
             self.optimizer.step()
             total += float(loss.data)
             batches += 1
-        self.model.normalize()
+        self.log.steps_run += batches
+        self._normalize_model()
         self._after_epoch(epoch, rng)
         return total / max(batches, 1)
 
@@ -417,6 +422,7 @@ class IPTransE(UnifiedTransApproach):
             path_loss = ((r1 + r2) - r3).square().sum(axis=1).mean() * 0.3
             path_loss.backward()
             self.optimizer.step()
+            self.log.steps_run += 1
             loss += float(path_loss.data)
         return loss
 

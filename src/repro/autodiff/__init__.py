@@ -12,6 +12,12 @@ from .init import (
 from .module import Module, Parameter
 from .nn import EmbeddingTable, GRUCell, Highway, Linear, conv2d
 from .optim import SGD, Adagrad, Adam, Optimizer, get_optimizer
+from .sparse import (
+    SparseGrad,
+    scatter_rows,
+    set_sparse_gradients,
+    sparse_gradients_enabled,
+)
 from .tensor import (
     Tensor,
     as_tensor,
@@ -30,6 +36,8 @@ __all__ = [
     "Module", "Parameter",
     "Linear", "EmbeddingTable", "GRUCell", "Highway", "conv2d",
     "SGD", "Adagrad", "Adam", "Optimizer", "get_optimizer",
+    "SparseGrad", "scatter_rows", "set_sparse_gradients",
+    "sparse_gradients_enabled",
     "unit_init", "uniform_init", "orthogonal_init", "xavier_init",
     "INITIALIZERS", "get_initializer",
     "check_gradients", "numerical_gradient",

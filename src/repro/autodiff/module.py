@@ -6,6 +6,7 @@ from typing import Iterator
 
 import numpy as np
 
+from .sparse import SparseGrad
 from .tensor import Tensor
 
 __all__ = ["Parameter", "Module"]
@@ -15,7 +16,9 @@ class Parameter(Tensor):
     """A tensor that is updated by an optimizer.
 
     Parameters always require gradients and carry an optional name used in
-    diagnostics.
+    diagnostics.  After a backward pass ``grad`` may be a dense array or a
+    row-sparse :class:`~repro.autodiff.sparse.SparseGrad`; optimizers
+    handle both, and :meth:`dense_grad` densifies for diagnostics.
     """
 
     __slots__ = ("name",)
@@ -26,6 +29,12 @@ class Parameter(Tensor):
 
     def __repr__(self) -> str:
         return f"Parameter(name={self.name!r}, shape={self.shape})"
+
+    def dense_grad(self) -> np.ndarray | None:
+        """The accumulated gradient as a dense array (``None`` if unset)."""
+        if isinstance(self.grad, SparseGrad):
+            return self.grad.to_dense()
+        return self.grad
 
     def assign(self, data: np.ndarray) -> None:
         """Replace the parameter value in place (e.g. after normalization)."""

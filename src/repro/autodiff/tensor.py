@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from .sparse import SparseGrad, scatter_rows, sparse_gradients_enabled
+
 __all__ = [
     "Tensor",
     "as_tensor",
@@ -57,7 +59,7 @@ class Tensor:
         if isinstance(data, Tensor):
             data = data.data
         self.data = np.asarray(data, dtype=np.float64)
-        self.grad: np.ndarray | None = None
+        self.grad: np.ndarray | SparseGrad | None = None
         self.requires_grad = bool(requires_grad)
         self._backward = None
         self._parents: tuple[Tensor, ...] = ()
@@ -107,9 +109,23 @@ class Tensor:
             out._backward = backward
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
+    def _accumulate(self, grad: np.ndarray | SparseGrad) -> None:
+        if isinstance(grad, SparseGrad):
+            if self.grad is None:
+                self.grad = grad
+            elif isinstance(self.grad, SparseGrad):
+                self.grad = self.grad.merged(grad)
+            else:
+                grad.add_to(self.grad)
+            return
         if self.grad is None:
             self.grad = np.array(grad, dtype=np.float64, copy=True)
+        elif isinstance(self.grad, SparseGrad):
+            # A dense gradient joined a sparse one (e.g. a norm regularizer
+            # over the full matrix): densify once and keep accumulating.
+            dense = self.grad.to_dense()
+            dense += grad
+            self.grad = dense
         else:
             self.grad += grad
 
@@ -279,14 +295,48 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward)
 
     def gather(self, indices) -> "Tensor":
-        """Row lookup (embedding gather) with scatter-add backward."""
+        """Row lookup (embedding gather) with scatter-add backward.
+
+        ``indices`` may be an array, list or tuple of integers (any
+        shape); rows are gathered along axis 0.  When this tensor is a
+        graph *leaf* (a parameter or input, not an op output) and sparse
+        gradients are enabled, the backward pass emits a
+        :class:`~repro.autodiff.sparse.SparseGrad` carrying only the
+        gathered rows — O(batch) instead of O(rows) per step.
+        """
+        if self.ndim < 1:
+            raise IndexError("gather requires a tensor with at least one axis")
         indices = np.asarray(indices)
+        if indices.size == 0:
+            indices = indices.astype(np.int64)
+        if not np.issubdtype(indices.dtype, np.integer):
+            raise TypeError(
+                f"gather indices must be integers, got dtype {indices.dtype}"
+            )
+        n_rows = self.shape[0]
+        if indices.size:
+            low = int(indices.min())
+            high = int(indices.max())
+            if low < -n_rows or high >= n_rows:
+                bad = high if high >= n_rows else low
+                raise IndexError(
+                    f"gather index {bad} out of range for axis 0 with "
+                    f"{n_rows} rows"
+                )
+            if low < 0:
+                indices = np.where(indices < 0, indices + n_rows, indices)
         out_data = self.data[indices]
+        # Sparse grads are only valid for leaves: an op output's gradient
+        # must stay dense so it can flow through the producing op.
+        is_leaf = not self._parents
 
         def backward(grad):
-            full = np.zeros_like(self.data)
-            np.add.at(full, indices, grad)
-            self._accumulate(full)
+            if is_leaf and sparse_gradients_enabled():
+                self._accumulate(SparseGrad(indices, grad, self.shape))
+            else:
+                full = np.zeros_like(self.data)
+                scatter_rows(full, indices, grad)
+                self._accumulate(full)
 
         return Tensor._make(out_data, (self,), backward)
 

@@ -58,6 +58,18 @@ class CVResult:
     def train_seconds(self) -> float:
         return float(self._values(lambda f: f.seconds).mean())
 
+    @property
+    def steps_per_second(self) -> float:
+        """Mean optimizer-step throughput across folds (0.0 if untracked).
+
+        Figure 8 reports wall-clock training time; with the sparse
+        gradient path this normalized view separates algorithmic cost
+        from dataset size.
+        """
+        values = self._values(lambda f: f.log.steps_per_second)
+        positive = values[values > 0]
+        return float(positive.mean()) if len(positive) else 0.0
+
     def format(self, metrics: tuple[str, ...] = ("hits@1", "hits@5", "mrr")) -> str:
         cells = []
         for metric in metrics:

@@ -21,6 +21,8 @@ from repro.approaches import (
     get_approach,
 )
 
+pytestmark = pytest.mark.slow  # full training loops; deselect via -m 'not slow'
+
 
 @pytest.fixture(scope="module")
 def trained(enfr_pair_module, enfr_split_module):

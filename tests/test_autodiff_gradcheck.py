@@ -16,6 +16,7 @@ from repro.autodiff import (
     concat,
     conv2d,
     maximum,
+    set_sparse_gradients,
     sparse_matmul,
     stack,
     where,
@@ -90,6 +91,37 @@ def test_gather_gradient():
         return table.gather(idx).square()
 
     check_gradients(func, [_rand(4, 3)])
+
+
+@pytest.mark.parametrize("sparse_enabled", [True, False])
+def test_gather_duplicate_indices_gradient(sparse_enabled):
+    """Heavily duplicated indices must coalesce correctly on both paths."""
+    idx = np.array([3, 0, 3, 3, 1, 0, 3])
+
+    def func(table):
+        return table.gather(idx).square()
+
+    previous = set_sparse_gradients(sparse_enabled)
+    try:
+        check_gradients(func, [_rand(5, 3)])
+    finally:
+        set_sparse_gradients(previous)
+
+
+@pytest.mark.parametrize("sparse_enabled", [True, False])
+def test_gather_mixed_sparse_dense_accumulation_gradient(sparse_enabled):
+    """One parameter receives a sparse grad (gather) and a dense grad
+    (full-matrix regularizer) in the same backward pass."""
+    idx = np.array([2, 2, 0])
+
+    def func(table):
+        return table.gather(idx).square().sum() + 0.5 * table.square().sum()
+
+    previous = set_sparse_gradients(sparse_enabled)
+    try:
+        check_gradients(func, [_rand(4, 3)])
+    finally:
+        set_sparse_gradients(previous)
 
 
 def test_getitem_gradient():

@@ -20,6 +20,8 @@ from repro import (
 from repro.analysis import hubness_isolation, prediction_overlap, similarity_distribution
 from repro.kg import load_pair, load_splits, save_pair, save_splits
 
+pytestmark = pytest.mark.slow  # full training loops; deselect via -m 'not slow'
+
 
 def test_package_version_and_exports():
     assert repro.__version__

@@ -1,0 +1,58 @@
+"""Smoke-runs the training-throughput bench inside the tier-1 budget.
+
+Runs ``benchmarks/bench_train_throughput.py`` in ``--smoke`` mode (tiny
+scale, SGD) and checks the report structure plus the dense/sparse loss
+parity it guarantees — a fast regression canary for the sparse gradient
+path without asserting wall-clock speedups (which belong to ``make
+train-bench``).
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).parent.parent / "benchmarks"
+
+
+@pytest.fixture(scope="module")
+def bench_module():
+    sys.path.insert(0, str(BENCH_DIR))
+    try:
+        import bench_train_throughput
+        yield bench_train_throughput
+    finally:
+        sys.path.remove(str(BENCH_DIR))
+
+
+def test_smoke_report_structure_and_loss_parity(bench_module, tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_train_throughput.json"
+    original = bench_module.REPORT_PATH
+    bench_module.REPORT_PATH = out
+    try:
+        report = bench_module.run(smoke=True, steps=5)
+    finally:
+        bench_module.REPORT_PATH = original
+
+    assert report["mode"] == "smoke"
+    assert report["optimizer"] == "sgd"
+    assert len(report["scales"]) == 1
+    scale = report["scales"][0]
+    for side in ("dense", "sparse"):
+        assert scale[side]["median_step_ms"] > 0
+        assert scale[side]["steps_per_sec"] > 0
+    # SGD smoke: sparse and dense are exactly equivalent, so the final
+    # losses must agree (the bench's built-in correctness check)
+    assert scale["dense"]["final_loss"] == pytest.approx(
+        scale["sparse"]["final_loss"], abs=1e-9
+    )
+
+    written = json.loads(out.read_text(encoding="utf-8"))
+    assert written["scales"][0]["speedup"] == pytest.approx(scale["speedup"])
+
+
+def test_smoke_cli_exits_zero(bench_module, monkeypatch, tmp_path):
+    monkeypatch.setattr(bench_module, "REPORT_PATH", tmp_path / "report.json")
+    assert bench_module.main(["--smoke", "--steps", "3"]) == 0
+    assert (tmp_path / "report.json").exists()

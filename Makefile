@@ -1,4 +1,4 @@
-.PHONY: install test test-fast verify bench serve-bench train-bench train-bench-smoke examples all
+.PHONY: install test test-fast verify bench serve-bench train-bench train-bench-smoke obs-smoke examples all
 
 install:
 	pip install -e . --no-build-isolation
@@ -27,6 +27,11 @@ train-bench:
 
 train-bench-smoke:
 	PYTHONPATH=src python benchmarks/bench_train_throughput.py --smoke
+
+# 2-epoch fully-instrumented training + telemetry report (docs/observability.md)
+obs-smoke:
+	PYTHONPATH=src python -m repro.cli obs-smoke --epochs 2 --out benchmarks/reports/obs_smoke
+	PYTHONPATH=src python -m repro.cli obs-report benchmarks/reports/obs_smoke/events.jsonl
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f; done

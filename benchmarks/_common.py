@@ -9,10 +9,16 @@ Scale knobs (environment variables):
 * ``REPRO_BENCH_SIZE``   — entities per dataset (default 300)
 * ``REPRO_BENCH_EPOCHS`` — training epochs (default 40)
 * ``REPRO_BENCH_DIM``    — embedding dimension (default 32)
+* ``REPRO_BENCH_TRACE``  — non-empty: record repro.obs spans for every
+  bench in the process and write ``reports/events.jsonl`` (readable via
+  ``repro obs-report``) plus ``reports/trace.json`` (chrome://tracing)
+  at exit
 """
 
 from __future__ import annotations
 
+import atexit
+import json
 import os
 import sys
 from functools import lru_cache
@@ -27,6 +33,24 @@ BENCH_EPOCHS = int(os.environ.get("REPRO_BENCH_EPOCHS", "40"))
 BENCH_DIM = int(os.environ.get("REPRO_BENCH_DIM", "32"))
 
 REPORT_DIR = Path(__file__).parent / "reports"
+
+if os.environ.get("REPRO_BENCH_TRACE"):
+    from repro import obs as _obs
+
+    _tracer = _obs.Tracer()
+    _obs.set_tracer(_tracer)
+
+    @atexit.register
+    def _write_trace_reports() -> None:
+        if not _tracer.events:
+            return
+        REPORT_DIR.mkdir(exist_ok=True)
+        _tracer.write_jsonl(REPORT_DIR / "events.jsonl")
+        _tracer.write_chrome_trace(REPORT_DIR / "trace.json")
+        sys.__stdout__.write(
+            f"wrote {len(_tracer.events)} telemetry events to "
+            f"{REPORT_DIR / 'events.jsonl'} (+ trace.json)\n"
+        )
 
 APPROACH_ORDER = [
     "MTransE", "IPTransE", "JAPE", "KDCoE", "BootEA", "GCNAlign",
@@ -44,6 +68,24 @@ def report(title: str, lines: list[str], filename: str) -> None:
     sys.__stdout__.flush()
     REPORT_DIR.mkdir(exist_ok=True)
     (REPORT_DIR / filename).write_text(text, encoding="utf-8")
+
+
+def write_json_report(target: str | Path, payload) -> Path:
+    """Persist a machine-readable report: a bare filename lands under
+    ``benchmarks/reports/``, a path with directories is used as-is.
+
+    Keys are sorted so report diffs are stable run to run regardless of
+    dict construction order.
+    """
+    path = Path(target)
+    if path.parent == Path("."):
+        REPORT_DIR.mkdir(exist_ok=True)
+        path = REPORT_DIR / path
+    else:
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
 
 
 def make_config(**overrides) -> ApproachConfig:

@@ -23,7 +23,6 @@ or as a quick smoke (tiny scales, used by the tier-1 regression test)::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from pathlib import Path
@@ -143,8 +142,9 @@ def run(smoke: bool = False, steps: int | None = None) -> dict:
             f"speedup={result['speedup']:6.1f}x",
             file=sys.__stdout__,
         )
-    REPORT_DIR.mkdir(exist_ok=True)
-    REPORT_PATH.write_text(json.dumps(report, indent=2), encoding="utf-8")
+    from _common import write_json_report
+
+    write_json_report(REPORT_PATH, report)
     print(f"  wrote {REPORT_PATH}", file=sys.__stdout__)
     return report
 

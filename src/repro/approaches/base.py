@@ -20,7 +20,9 @@ import numpy as np
 from ..alignment import csls as csls_rescale
 from ..alignment import infer_alignment, rank_metrics, similarity_matrix
 from ..alignment.evaluate import RankMetrics
+from ..autodiff.sparse import SparseGrad
 from ..kg import AlignmentSplit, EntityIndex, KGPair
+from ..obs import get_registry, peak_rss_bytes, span, tracing_enabled
 
 __all__ = [
     "ApproachConfig",
@@ -92,6 +94,11 @@ class TrainingLog:
     best_epoch: int = 0
     train_seconds: float = 0.0
     steps_run: int = 0  # optimizer steps, for throughput reporting
+    # Populated by the telemetry spans in fit(): per-epoch wall time and
+    # the process peak RSS observed at the end of training.  Benches
+    # (bench_fig8_running_time) read these instead of re-timing.
+    epoch_seconds: list[float] = field(default_factory=list)
+    peak_rss_bytes: int = 0
 
     @property
     def steps_per_second(self) -> float:
@@ -219,11 +226,12 @@ class EmbeddingApproach:
         updated since the last epoch are projected back onto the unit
         sphere — O(touched) instead of O(|E|) on the sparse path.
         """
-        if self.config.lazy_normalize:
-            rows = self.optimizer.consume_touched(self.model.entities.table)
-            self.model.normalize(rows=rows)
-        else:
-            self.model.normalize()
+        with span("normalize"):
+            if self.config.lazy_normalize:
+                rows = self.optimizer.consume_touched(self.model.entities.table)
+                self.model.normalize(rows=rows)
+            else:
+                self.model.normalize()
 
     def _source_matrix(self, entities: list[str]) -> np.ndarray:
         """Embeddings of KG1 entities, mapped into the comparison space."""
@@ -244,39 +252,76 @@ class EmbeddingApproach:
         self.split = split
         self.log = TrainingLog()
         started = time.perf_counter()
-        self._setup(pair, split, rng)
+        with span("fit", approach=self.info.name, dataset=pair.name):
+            with span("setup"):
+                self._setup(pair, split, rng)
 
-        best_hits = -1.0
-        best_state: list[np.ndarray] | None = None
-        best_epoch = 0
-        bad_checks = 0
-        if split.valid and config.valid_every:
-            # epoch-0 snapshot: approaches with informative initialization
-            # (literal features) must never end below their starting point
-            best_hits = self.evaluate(split.valid, hits_at=(1,)).hits_at(1)
-            best_state = [p.data.copy() for p in self._parameters()]
-        for epoch in range(1, config.epochs + 1):
-            loss = self._run_epoch(epoch, rng)
-            self.log.losses.append(loss)
-            self.log.epochs_run = epoch
-            if split.valid and config.valid_every and epoch % config.valid_every == 0:
-                hits1 = self.evaluate(split.valid, hits_at=(1,)).hits_at(1)
-                self.log.valid_history.append((epoch, hits1))
-                if hits1 >= best_hits:
-                    best_hits = hits1
-                    best_epoch = epoch
-                    best_state = [p.data.copy() for p in self._parameters()]
-                    bad_checks = 0
-                else:
-                    bad_checks += 1
-                    if config.early_stop and bad_checks >= config.patience:
-                        break
-        if best_state is not None:
-            for parameter, saved in zip(self._parameters(), best_state):
-                parameter.data[...] = saved
+            best_hits = -1.0
+            best_state: list[np.ndarray] | None = None
+            best_epoch = 0
+            bad_checks = 0
+            if split.valid and config.valid_every:
+                # epoch-0 snapshot: approaches with informative initialization
+                # (literal features) must never end below their starting point
+                with span("validate", epoch=0):
+                    best_hits = self.evaluate(split.valid, hits_at=(1,)).hits_at(1)
+                best_state = [p.data.copy() for p in self._parameters()]
+            for epoch in range(1, config.epochs + 1):
+                epoch_started = time.perf_counter()
+                with span("epoch", epoch=epoch) as epoch_span:
+                    loss = self._run_epoch(epoch, rng)
+                    epoch_span.set(loss=loss)
+                self.log.epoch_seconds.append(time.perf_counter() - epoch_started)
+                self.log.losses.append(loss)
+                self.log.epochs_run = epoch
+                if tracing_enabled():
+                    self._record_epoch_gauges(loss)
+                if split.valid and config.valid_every and epoch % config.valid_every == 0:
+                    with span("validate", epoch=epoch):
+                        hits1 = self.evaluate(split.valid, hits_at=(1,)).hits_at(1)
+                    self.log.valid_history.append((epoch, hits1))
+                    if hits1 >= best_hits:
+                        best_hits = hits1
+                        best_epoch = epoch
+                        best_state = [p.data.copy() for p in self._parameters()]
+                        bad_checks = 0
+                    else:
+                        bad_checks += 1
+                        if config.early_stop and bad_checks >= config.patience:
+                            break
+            if best_state is not None:
+                for parameter, saved in zip(self._parameters(), best_state):
+                    parameter.data[...] = saved
         self.log.best_epoch = best_epoch or self.log.epochs_run
         self.log.train_seconds = time.perf_counter() - started
+        self.log.peak_rss_bytes = peak_rss_bytes()
         return self.log
+
+    def _record_epoch_gauges(self, loss: float) -> None:
+        """Export loss / last-batch grad norm / touched rows as gauges.
+
+        Only called while tracing is enabled: the grad-norm pass walks
+        every parameter gradient, which the untraced hot path must not
+        pay for.
+        """
+        registry = get_registry()
+        name = self.info.name
+        registry.gauge("train.loss", approach=name).set(loss)
+        grad_sq = 0.0
+        touched = 0
+        for parameter in self._parameters():
+            grad = parameter.grad
+            if grad is None:
+                continue
+            if isinstance(grad, SparseGrad):
+                grad = grad.coalesce()
+                grad_sq += float((grad.values ** 2).sum())
+                touched += len(np.unique(grad.indices))
+            else:
+                grad_sq += float((np.asarray(grad) ** 2).sum())
+                touched += parameter.shape[0] if parameter.ndim else 1
+        registry.gauge("train.grad_norm", approach=name).set(grad_sq ** 0.5)
+        registry.gauge("train.touched_rows", approach=name).set(touched)
 
     # ------------------------------------------------------------------
     # alignment module

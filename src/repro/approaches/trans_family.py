@@ -14,6 +14,7 @@ from collections import defaultdict
 import numpy as np
 
 from ..autodiff import Parameter, Tensor, get_optimizer
+from ..obs import span
 from ..embedding import (
     TransE,
     TruncatedSampler,
@@ -91,27 +92,32 @@ class MTransE(EmbeddingApproach):
         for start in range(0, len(triples), config.batch_size):
             batch = triples[order[start:start + config.batch_size]]
             self.optimizer.zero_grad()
-            positive = self.model.score(batch[:, 0], batch[:, 1], batch[:, 2])
             if self.negative_sampling:
-                corrupted = uniform_corrupt(
-                    batch, self.data.n_entities, config.n_negatives, rng
-                )
-                negative = self.model.score(
-                    corrupted[:, 0], corrupted[:, 1], corrupted[:, 2]
-                )
-                if self.loss_name == "logistic":
-                    loss = logistic_loss(positive, negative)
-                else:
-                    loss = margin_ranking_loss(
-                        positive,
-                        negative.reshape(len(batch), config.n_negatives).mean(axis=1),
-                        margin=config.margin,
+                with span("neg_sampling"):
+                    corrupted = uniform_corrupt(
+                        batch, self.data.n_entities, config.n_negatives, rng
                     )
-            else:
-                loss = (-positive).mean()  # positive-energy minimization only
-            loss = loss + self._alignment_loss()
-            loss.backward()
-            self.optimizer.step()
+            with span("forward"):
+                positive = self.model.score(batch[:, 0], batch[:, 1], batch[:, 2])
+                if self.negative_sampling:
+                    negative = self.model.score(
+                        corrupted[:, 0], corrupted[:, 1], corrupted[:, 2]
+                    )
+                    if self.loss_name == "logistic":
+                        loss = logistic_loss(positive, negative)
+                    else:
+                        loss = margin_ranking_loss(
+                            positive,
+                            negative.reshape(len(batch), config.n_negatives).mean(axis=1),
+                            margin=config.margin,
+                        )
+                else:
+                    loss = (-positive).mean()  # positive-energy minimization only
+                loss = loss + self._alignment_loss()
+            with span("backward"):
+                loss.backward()
+            with span("step"):
+                self.optimizer.step()
             total += float(loss.data)
             batches += 1
         self.log.steps_run += batches
@@ -291,15 +297,19 @@ class UnifiedTransApproach(EmbeddingApproach):
         total, batches = 0.0, 0
         for start in range(0, len(triples), config.batch_size):
             batch = triples[order[start:start + config.batch_size]]
-            corrupted = self._negatives(batch, rng)
+            with span("neg_sampling"):
+                corrupted = self._negatives(batch, rng)
             self.optimizer.zero_grad()
-            positive = self.model.score(batch[:, 0], batch[:, 1], batch[:, 2])
-            negative = self.model.score(
-                corrupted[:, 0], corrupted[:, 1], corrupted[:, 2]
-            )
-            loss = self._triple_loss(positive, negative) + self._calibration_loss()
-            loss.backward()
-            self.optimizer.step()
+            with span("forward"):
+                positive = self.model.score(batch[:, 0], batch[:, 1], batch[:, 2])
+                negative = self.model.score(
+                    corrupted[:, 0], corrupted[:, 1], corrupted[:, 2]
+                )
+                loss = self._triple_loss(positive, negative) + self._calibration_loss()
+            with span("backward"):
+                loss.backward()
+            with span("step"):
+                self.optimizer.step()
             total += float(loss.data)
             batches += 1
         self.log.steps_run += batches
@@ -416,12 +426,15 @@ class IPTransE(UnifiedTransApproach):
                 rng.choice(len(self._paths), size=min(512, len(self._paths)), replace=False)
             ]
             self.optimizer.zero_grad()
-            r1 = self.model.relations(sample[:, 0])
-            r2 = self.model.relations(sample[:, 1])
-            r3 = self.model.relations(sample[:, 2])
-            path_loss = ((r1 + r2) - r3).square().sum(axis=1).mean() * 0.3
-            path_loss.backward()
-            self.optimizer.step()
+            with span("forward", phase="path"):
+                r1 = self.model.relations(sample[:, 0])
+                r2 = self.model.relations(sample[:, 1])
+                r3 = self.model.relations(sample[:, 2])
+                path_loss = ((r1 + r2) - r3).square().sum(axis=1).mean() * 0.3
+            with span("backward", phase="path"):
+                path_loss.backward()
+            with span("step", phase="path"):
+                self.optimizer.step()
             self.log.steps_run += 1
             loss += float(path_loss.data)
         return loss

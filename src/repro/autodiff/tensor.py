@@ -29,6 +29,22 @@ __all__ = [
 ]
 
 
+# Optional hook timing each backward closure, installed by the op
+# profiler (repro.obs.opprof).  ``None`` keeps the hot loop branch-free
+# apart from a single identity check per node.
+_BACKWARD_OP_HOOK = None
+
+
+def set_backward_op_hook(hook):
+    """Install ``hook(node, closure)`` called instead of ``closure(node.grad)``
+    for every node during backprop; returns the previous hook.  Pass
+    ``None`` to restore the direct call."""
+    global _BACKWARD_OP_HOOK
+    previous = _BACKWARD_OP_HOOK
+    _BACKWARD_OP_HOOK = hook
+    return previous
+
+
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     """Sum ``grad`` over the axes that numpy broadcasting introduced.
 
@@ -52,7 +68,10 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
 class Tensor:
     """A numpy array with an optional gradient and a backward graph edge."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    # _op is the producing op's kind, set only while the op profiler
+    # (repro.obs.opprof) is active; it lets backward closures be
+    # attributed to the forward op that created them.
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_op")
     __array_priority__ = 100  # make numpy defer to our __radd__ etc.
 
     def __init__(self, data, requires_grad: bool = False):
@@ -63,6 +82,7 @@ class Tensor:
         self.requires_grad = bool(requires_grad)
         self._backward = None
         self._parents: tuple[Tensor, ...] = ()
+        self._op: str | None = None
 
     # ------------------------------------------------------------------
     # basic protocol
@@ -155,9 +175,13 @@ class Tensor:
                 if parent.requires_grad and id(parent) not in seen:
                     stack.append((parent, False))
 
+        hook = _BACKWARD_OP_HOOK
         for node in reversed(order):
             if node._backward is not None and node.grad is not None:
-                node._backward(node.grad)
+                if hook is None:
+                    node._backward(node.grad)
+                else:
+                    hook(node, node._backward)
                 # Free the closure so intermediate buffers can be collected.
                 node._backward = None
                 node._parents = ()

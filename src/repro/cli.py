@@ -95,6 +95,28 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--recall-sample", type=int, default=0,
                        help="estimate recall@k vs exact on N sampled queries")
 
+    obs_report = commands.add_parser(
+        "obs-report",
+        help="render a telemetry events.jsonl into a per-phase breakdown",
+    )
+    obs_report.add_argument("events", type=Path,
+                            help="events.jsonl written by repro.obs")
+    obs_report.add_argument("--chrome", type=Path, default=None,
+                            help="also write a chrome://tracing file here")
+
+    obs_smoke = commands.add_parser(
+        "obs-smoke",
+        help="run a small fully-instrumented training and report it",
+    )
+    obs_smoke.add_argument("--out", type=Path, default=Path("obs_smoke"),
+                           help="directory for events.jsonl + trace.json")
+    obs_smoke.add_argument("--family", choices=sorted(FAMILIES),
+                           default="EN-FR")
+    obs_smoke.add_argument("--size", type=int, default=150)
+    obs_smoke.add_argument("--epochs", type=int, default=2)
+    obs_smoke.add_argument("--dim", type=int, default=32)
+    obs_smoke.add_argument("--seed", type=int, default=0)
+
     return parser
 
 
@@ -230,6 +252,78 @@ def _cmd_serve_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import (events_to_chrome, format_op_table, format_phase_table,
+                      load_events)
+
+    if not args.events.is_file():
+        print(f"error: {args.events} is not a file", file=sys.stderr)
+        return 2
+    try:
+        events = load_events(args.events)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"== telemetry report: {args.events} ==")
+    print(format_phase_table(events))
+    op_table = format_op_table(events)
+    if op_table:
+        print()
+        print("== autodiff op profile ==")
+        print(op_table)
+    for event in events:
+        if event.get("type") == "metrics":
+            gauges = event.get("snapshot", {}).get("gauges", {})
+            if gauges:
+                print()
+                print("== gauges ==")
+                for name, value in sorted(gauges.items()):
+                    print(f"  {name} = {value:.6g}")
+            break
+    if args.chrome is not None:
+        args.chrome.parent.mkdir(parents=True, exist_ok=True)
+        args.chrome.write_text(
+            json.dumps(events_to_chrome(events), sort_keys=True),
+            encoding="utf-8",
+        )
+        print(f"\nwrote Chrome trace to {args.chrome} "
+              f"(open via chrome://tracing)")
+    return 0
+
+
+def _cmd_obs_smoke(args: argparse.Namespace) -> int:
+    from . import obs
+    from .approaches import ApproachConfig, get_approach
+
+    pair = benchmark_pair(args.family, size=args.size, method="direct",
+                          seed=args.seed)
+    split = pair.five_fold_splits(seed=args.seed)[0]
+    approach = get_approach(
+        "MTransE",
+        ApproachConfig(dim=args.dim, epochs=args.epochs, valid_every=0,
+                       seed=args.seed),
+    )
+    approach.negative_sampling = True  # exercise the neg_sampling span
+    with obs.capture(profile_ops=True) as cap:
+        log = approach.fit(pair, split)
+    args.out.mkdir(parents=True, exist_ok=True)
+    events_path = args.out / "events.jsonl"
+    trace_path = args.out / "trace.json"
+    cap.write(events_path)
+    cap.tracer.write_chrome_trace(trace_path)
+    print(f"trained {approach.info.name} for {log.epochs_run} epochs "
+          f"({sum(log.epoch_seconds):.2f}s training, "
+          f"peak RSS {log.peak_rss_bytes / 1024 / 1024:.0f} MB)")
+    print(f"wrote {events_path} and {trace_path}\n")
+    print(obs.format_phase_table(cap.events))
+    print()
+    print("== autodiff op profile ==")
+    print(cap.profiler.format())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -243,6 +337,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve_build(args)
     if args.command == "serve-query":
         return _cmd_serve_query(args)
+    if args.command == "obs-report":
+        return _cmd_obs_report(args)
+    if args.command == "obs-smoke":
+        return _cmd_obs_smoke(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -1,0 +1,231 @@
+"""Autodiff op profiler: attribute training time to op kinds.
+
+While enabled, every :class:`~repro.autodiff.tensor.Tensor` op, every
+backward closure and every optimizer step is timed and attributed to an
+op kind (``matmul``, ``gather``, ``matmul.bwd``, ``optimizer.step`` …).
+Times are *exclusive*: a composite op (``square`` calls ``mul``) is
+charged only for the time not already attributed to the ops it invoked,
+so the per-kind totals sum to at most the traced wall time and can be
+compared against it directly (the ≥90 % coverage check in
+``tests/test_obs_integration.py``).
+
+The profiler works by swapping the ``Tensor`` methods for timed
+wrappers and restoring the originals on disable — **no** per-call check
+is left behind when profiling is off, preserving the zero-cost-when-off
+invariant.  Enabling is process-global and not re-entrant (a second
+``enable`` raises).  Backward attribution rides on
+``tensor.set_backward_op_hook`` plus a per-tensor ``_op`` tag the
+wrappers stamp on their results.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..autodiff import optim as _optim
+from ..autodiff import tensor as _tensor_mod
+from ..autodiff.tensor import Tensor
+
+__all__ = ["OpStat", "OpProfiler", "enable_op_profiler", "disable_op_profiler",
+           "profile_ops"]
+
+
+# Tensor method name -> op kind reported in profiles.  Reflected variants
+# share their base kind; dunder names map to readable labels.
+_METHOD_KINDS = {
+    "__add__": "add", "__radd__": "add",
+    "__neg__": "neg",
+    "__sub__": "sub", "__rsub__": "sub",
+    "__mul__": "mul", "__rmul__": "mul",
+    "__truediv__": "div", "__rtruediv__": "div",
+    "__pow__": "pow",
+    "__matmul__": "matmul",
+    "__getitem__": "index",
+    "reshape": "reshape",
+    "transpose": "transpose",
+    "gather": "gather",
+    "sum": "sum",
+    "mean": "mean",
+    "max": "max",
+    "exp": "exp",
+    "log": "log",
+    "sqrt": "sqrt",
+    "abs": "abs",
+    "sigmoid": "sigmoid",
+    "tanh": "tanh",
+    "relu": "relu",
+    "softplus": "softplus",
+    "cos": "cos",
+    "sin": "sin",
+    "clip": "clip",
+    "square": "square",
+    "norm": "norm",
+    "l2_normalize": "l2_normalize",
+    "softmax": "softmax",
+}
+
+# Module-level graph builders patched in the tensor module namespace so
+# internal composite callers (maximum -> where, …) are covered.
+_FUNCTION_KINDS = {
+    "concat": "concat",
+    "stack": "stack",
+    "where": "where",
+    "circular_correlation": "circular_correlation",
+    "sparse_matmul": "sparse_matmul",
+}
+
+
+@dataclass
+class OpStat:
+    """Accumulated timing of one op kind."""
+
+    kind: str
+    count: int = 0
+    total_seconds: float = 0.0   # inclusive (contains nested op time)
+    self_seconds: float = 0.0    # exclusive (what this kind itself cost)
+
+
+class OpProfiler:
+    """Per-op-kind time attribution for one profiled region."""
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self._stack: list[float] = []  # child-time accumulator per frame
+        self.stats: dict[str, OpStat] = {}
+
+    # ------------------------------------------------------------------
+    def _timed(self, kind: str, fn, args, kwargs):
+        clock = self._clock
+        stack = self._stack
+        start = clock()
+        stack.append(0.0)
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            elapsed = clock() - start
+            child = stack.pop()
+            if stack:
+                stack[-1] += elapsed
+            stat = self.stats.get(kind)
+            if stat is None:
+                stat = self.stats[kind] = OpStat(kind)
+            stat.count += 1
+            stat.total_seconds += elapsed
+            stat.self_seconds += elapsed - child
+
+    # ------------------------------------------------------------------
+    def total_self_seconds(self) -> float:
+        """Sum of exclusive times — the profiler's account of where the
+        traced wall time went."""
+        return sum(stat.self_seconds for stat in self.stats.values())
+
+    def summary(self) -> list[dict]:
+        """Per-kind rows sorted by exclusive time, heaviest first."""
+        rows = [
+            {
+                "kind": stat.kind,
+                "count": stat.count,
+                "total_s": stat.total_seconds,
+                "self_s": stat.self_seconds,
+            }
+            for stat in self.stats.values()
+        ]
+        rows.sort(key=lambda r: (-r["self_s"], r["kind"]))
+        return rows
+
+    def format(self, top: int = 15) -> str:
+        total = self.total_self_seconds() or 1.0
+        lines = [f"{'op':<22s} {'calls':>8s} {'self s':>9s} {'share':>6s}"]
+        for row in self.summary()[:top]:
+            lines.append(
+                f"{row['kind']:<22s} {row['count']:8d} "
+                f"{row['self_s']:9.4f} {row['self_s'] / total:6.1%}"
+            )
+        return "\n".join(lines)
+
+
+def _wrap_callable(profiler: OpProfiler, kind: str, fn):
+    def wrapper(*args, **kwargs):
+        out = profiler._timed(kind, fn, args, kwargs)
+        if isinstance(out, Tensor):
+            out._op = kind
+        return out
+
+    wrapper.__name__ = getattr(fn, "__name__", kind)
+    wrapper.__wrapped__ = fn
+    return wrapper
+
+
+def _wrap_step(profiler: OpProfiler, fn):
+    def step(self) -> None:
+        profiler._timed("optimizer.step", fn, (self,), {})
+
+    step.__wrapped__ = fn
+    return step
+
+
+_ACTIVE: list[tuple[OpProfiler, dict, dict, object, object]] = []
+
+
+def enable_op_profiler(profiler: OpProfiler | None = None) -> OpProfiler:
+    """Patch op dispatch so every op reports into ``profiler``.
+
+    Returns the (possibly fresh) profiler.  Process-global; raises if a
+    profiler is already enabled.
+    """
+    if _ACTIVE:
+        raise RuntimeError("an op profiler is already enabled")
+    profiler = profiler or OpProfiler()
+    method_originals = {}
+    for name, kind in _METHOD_KINDS.items():
+        original = getattr(Tensor, name)
+        method_originals[name] = original
+        setattr(Tensor, name, _wrap_callable(profiler, kind, original))
+    function_originals = {}
+    for name, kind in _FUNCTION_KINDS.items():
+        original = getattr(_tensor_mod, name)
+        function_originals[name] = original
+        setattr(_tensor_mod, name, _wrap_callable(profiler, kind, original))
+    step_original = _optim.Optimizer.step
+    _optim.Optimizer.step = _wrap_step(profiler, step_original)
+
+    def backward_hook(node, closure):
+        kind = (node._op or "op") + ".bwd"
+        profiler._timed(kind, closure, (node.grad,), {})
+
+    previous_hook = _tensor_mod.set_backward_op_hook(backward_hook)
+    _ACTIVE.append(
+        (profiler, method_originals, function_originals, step_original,
+         previous_hook)
+    )
+    return profiler
+
+
+def disable_op_profiler() -> OpProfiler | None:
+    """Restore the unpatched op dispatch; returns the profiler (or None)."""
+    if not _ACTIVE:
+        return None
+    profiler, methods, functions, step_original, previous_hook = _ACTIVE.pop()
+    for name, original in methods.items():
+        setattr(Tensor, name, original)
+    for name, original in functions.items():
+        setattr(_tensor_mod, name, original)
+    _optim.Optimizer.step = step_original
+    _tensor_mod.set_backward_op_hook(previous_hook)
+    return profiler
+
+
+class profile_ops:
+    """``with profile_ops() as prof: ...`` convenience wrapper."""
+
+    def __init__(self, profiler: OpProfiler | None = None):
+        self._profiler = profiler
+
+    def __enter__(self) -> OpProfiler:
+        self._profiler = enable_op_profiler(self._profiler)
+        return self._profiler
+
+    def __exit__(self, *exc):
+        disable_op_profiler()
+        return False

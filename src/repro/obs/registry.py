@@ -1,0 +1,332 @@
+"""Metrics registry: named counters, gauges and histograms with labels.
+
+One :class:`MetricsRegistry` holds every metric of a process (or of one
+subsystem — the serving layer keeps a private registry per
+:class:`~repro.serve.metrics.ServingMetrics`).  Metrics are get-or-create:
+``registry.counter("train.steps", approach="MTransE")`` returns the same
+:class:`Counter` every time it is called with the same name and labels,
+so instrumentation sites never need to coordinate registration.
+
+Registries snapshot to plain sorted dicts (stable diffs), merge
+(multi-worker aggregation) and reset (between benchmark rounds).  All
+mutation is guarded by locks so serving threads can share one registry.
+
+Histograms keep two views of the same stream: fixed bucket counts (for
+merging and export) and a bounded uniform reservoir of raw samples (for
+percentiles — exact below the cap, statistically sound above it).
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+import threading
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+]
+
+# Default histogram buckets: roughly log-spaced seconds, wide enough for
+# both per-op microseconds and multi-minute training epochs.
+DEFAULT_BUCKETS = (
+    1e-5, 1e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 600.0,
+)
+
+DEFAULT_RESERVOIR = 10_000
+
+
+class Counter:
+    """A monotonically increasing sum."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: dict[str, str]):
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a gauge instead")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that can move in both directions (last write wins)."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: dict[str, str]):
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Bucketed observation counts plus a bounded raw-sample reservoir.
+
+    Bucket counts are cumulative-friendly (``buckets[i]`` counts samples
+    ``<= bounds[i]``; one overflow slot catches the rest) and merge
+    exactly.  The reservoir holds at most ``reservoir_size`` raw samples
+    via Vitter's algorithm R: below the cap percentiles are exact, above
+    it they are an unbiased uniform-sample estimate — so a long-running
+    serving loop never grows without bound.
+    """
+
+    __slots__ = (
+        "name", "labels", "bounds", "_counts", "_sum", "_count",
+        "_reservoir", "_cap", "_rng", "_lock",
+    )
+
+    def __init__(
+        self,
+        name: str = "",
+        labels: dict[str, str] | None = None,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        reservoir_size: int = DEFAULT_RESERVOIR,
+        seed: int = 0,
+    ):
+        if reservoir_size <= 0:
+            raise ValueError("reservoir_size must be positive")
+        self.name = name
+        self.labels = labels or {}
+        self.bounds = tuple(sorted(float(b) for b in buckets))
+        self._counts = [0] * (len(self.bounds) + 1)  # +1 overflow slot
+        self._sum = 0.0
+        self._count = 0
+        self._reservoir: list[float] = []
+        self._cap = int(reservoir_size)
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            self._counts[bisect.bisect_left(self.bounds, value)] += 1
+            if len(self._reservoir) < self._cap:
+                self._reservoir.append(value)
+            else:
+                slot = self._rng.randrange(self._count)
+                if slot < self._cap:
+                    self._reservoir[slot] = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else float("nan")
+
+    @property
+    def n_samples(self) -> int:
+        """Raw samples currently held (``<= reservoir_size``)."""
+        return len(self._reservoir)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100) with linear interpolation.
+
+        Matches ``numpy.percentile``'s default method; exact while the
+        sample count is below the reservoir cap.  ``nan`` when empty.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            data = sorted(self._reservoir)
+        if not data:
+            return float("nan")
+        if len(data) == 1:
+            return data[0]
+        rank = (q / 100.0) * (len(data) - 1)
+        low = int(rank)
+        frac = rank - low
+        if low + 1 >= len(data):
+            return data[-1]
+        return data[low] * (1.0 - frac) + data[low + 1] * frac
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            buckets = {}
+            for bound, count in zip(self.bounds, self._counts):
+                if count:
+                    buckets[f"le_{bound:g}"] = count
+            if self._counts[-1]:
+                buckets["le_inf"] = self._counts[-1]
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "buckets": buckets,
+            }
+
+    def _merge_from(self, other: "Histogram") -> None:
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different buckets "
+                f"({self.name!r})"
+            )
+        with self._lock:
+            self._count += other._count
+            self._sum += other._sum
+            for i, count in enumerate(other._counts):
+                self._counts[i] += count
+            for value in other._reservoir:
+                if len(self._reservoir) < self._cap:
+                    self._reservoir.append(value)
+                else:
+                    slot = self._rng.randrange(len(self._reservoir) * 2)
+                    if slot < self._cap:
+                        self._reservoir[slot] = value
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _labelled_name(name: str, labels: dict) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Get-or-create store of named, labelled metrics (thread-safe)."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._metrics: dict[tuple, Counter | Gauge | Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def _get(self, kind: str, factory, name: str, labels: dict):
+        key = (kind, name, _label_key(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                for (other_kind, other_name, other_labels) in self._metrics:
+                    if other_name == name and other_labels == key[2] \
+                            and other_kind != kind:
+                        raise TypeError(
+                            f"metric {name!r} already registered as "
+                            f"{other_kind}, cannot re-register as {kind}"
+                        )
+                metric = self._metrics[key] = factory()
+            return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get("counter", lambda: Counter(name, labels), name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get("gauge", lambda: Gauge(name, labels), name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        reservoir_size: int = DEFAULT_RESERVOIR,
+        **labels,
+    ) -> Histogram:
+        return self._get(
+            "histogram",
+            lambda: Histogram(name, labels, buckets=buckets,
+                              reservoir_size=reservoir_size),
+            name, labels,
+        )
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Plain-data view, keys sorted for stable serialization."""
+        out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        with self._lock:
+            items = sorted(self._metrics.items())
+        for (kind, name, labels), metric in items:
+            out[kind + "s"][_labelled_name(name, dict(labels))] = metric.snapshot()
+        return out
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into this registry.
+
+        Counters and histograms add; gauges take the other's value
+        (last-write-wins, matching their point-in-time semantics).
+        """
+        with other._lock:
+            items = list(other._metrics.items())
+        for (kind, name, labels), metric in items:
+            label_dict = dict(labels)
+            if kind == "counter":
+                self.counter(name, **label_dict).inc(metric.value)
+            elif kind == "gauge":
+                self.gauge(name, **label_dict).set(metric.value)
+            else:
+                mine = self.histogram(
+                    name, buckets=metric.bounds,
+                    reservoir_size=metric._cap, **label_dict,
+                )
+                mine._merge_from(metric)
+
+    def reset(self) -> None:
+        """Zero every metric, keeping registrations in place."""
+        with self._lock:
+            for (kind, _, _), metric in self._metrics.items():
+                if kind == "histogram":
+                    with metric._lock:
+                        metric._count = 0
+                        metric._sum = 0.0
+                        metric._counts = [0] * len(metric._counts)
+                        metric._reservoir = []
+                else:
+                    metric._value = 0.0
+
+
+# ---------------------------------------------------------------------------
+# process-wide default registry
+# ---------------------------------------------------------------------------
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the default registry, returning the previous one."""
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = registry
+    return previous

@@ -16,6 +16,7 @@ import numpy as np
 from ..alignment.evaluate import RankMetrics
 from ..approaches.base import EmbeddingApproach, TrainingLog
 from ..kg import AlignmentSplit, KGPair
+from ..obs import span
 
 __all__ = ["FoldResult", "CVResult", "run_fold", "cross_validate"]
 
@@ -70,6 +71,19 @@ class CVResult:
         positive = values[values > 0]
         return float(positive.mean()) if len(positive) else 0.0
 
+    @property
+    def mean_epoch_seconds(self) -> float:
+        """Mean per-epoch wall time over every trained epoch of every fold."""
+        seconds = [s for fold in self.folds for s in fold.log.epoch_seconds]
+        return float(np.mean(seconds)) if seconds else 0.0
+
+    @property
+    def peak_rss_bytes(self) -> int:
+        """Highest process peak RSS any fold's training observed."""
+        if not self.folds:
+            return 0
+        return int(max(fold.log.peak_rss_bytes for fold in self.folds))
+
     def format(self, metrics: tuple[str, ...] = ("hits@1", "hits@5", "mrr")) -> str:
         cells = []
         for metric in metrics:
@@ -86,10 +100,12 @@ def run_fold(
 ) -> FoldResult:
     """Train on one fold and evaluate on its test pairs."""
     approach = factory()
-    started = time.perf_counter()
-    log = approach.fit(pair, split)
-    seconds = time.perf_counter() - started
-    metrics = approach.evaluate(split.test, hits_at=hits_at)
+    with span("fold", approach=approach.info.name, dataset=pair.name):
+        started = time.perf_counter()
+        log = approach.fit(pair, split)
+        seconds = time.perf_counter() - started
+        with span("evaluate", approach=approach.info.name):
+            metrics = approach.evaluate(split.test, hits_at=hits_at)
     return FoldResult(metrics=metrics, log=log, seconds=seconds, approach=approach)
 
 
@@ -109,6 +125,8 @@ def cross_validate(
         probe = factory()
         name = probe.info.name
     result = CVResult(name=name, dataset=pair.name)
-    for split in splits:
-        result.folds.append(run_fold(factory, pair, split, hits_at=hits_at))
+    with span("cross_validate", approach=name, dataset=pair.name,
+              n_folds=n_folds):
+        for split in splits:
+            result.folds.append(run_fold(factory, pair, split, hits_at=hits_at))
     return result

@@ -15,33 +15,49 @@ import time
 import numpy as np
 
 from ..alignment.streaming import topk_similarity
+from ..obs import Histogram, MetricsRegistry
 
 __all__ = ["LatencyHistogram", "ServingMetrics", "recall_vs_exact"]
+
+# Latency-scaled buckets (seconds): sub-ms to multi-second tails.
+LATENCY_BUCKETS = (
+    1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0,
+)
 
 
 class LatencyHistogram:
     """Latency observations with percentile reporting.
 
-    Stores raw samples (seconds); percentiles are exact, not bucketed —
-    at serving-bench scales the sample count stays small enough that
-    ``np.percentile`` over the raw data beats maintaining HDR buckets.
+    Backed by a shared-registry :class:`repro.obs.Histogram`: bucket
+    counts for export plus a bounded reservoir of raw samples (default
+    10 000) for percentiles — exact below the cap, an unbiased uniform
+    sample above it.  The bound keeps long-running serving loops from
+    growing memory with every request, which the raw-sample list this
+    class used to keep did.
     """
 
-    def __init__(self):
-        self._samples: list[float] = []
+    def __init__(self, max_samples: int = 10_000,
+                 histogram: Histogram | None = None):
+        self._hist = histogram or Histogram(
+            "serve.latency_seconds", buckets=LATENCY_BUCKETS,
+            reservoir_size=max_samples,
+        )
 
     def observe(self, seconds: float) -> None:
-        self._samples.append(float(seconds))
+        self._hist.observe(float(seconds))
 
     @property
     def count(self) -> int:
-        return len(self._samples)
+        return self._hist.count
+
+    @property
+    def n_samples(self) -> int:
+        """Raw samples currently retained (``<= max_samples``)."""
+        return self._hist.n_samples
 
     def percentile(self, q: float) -> float:
         """The ``q``-th percentile in seconds (nan when empty)."""
-        if not self._samples:
-            return float("nan")
-        return float(np.percentile(self._samples, q))
+        return self._hist.percentile(q)
 
     def summary(self) -> dict[str, float]:
         """p50/p95/p99 in milliseconds, plus the sample count."""
@@ -54,16 +70,28 @@ class LatencyHistogram:
 
 
 class ServingMetrics:
-    """Counters for one serving session (engine + index + cache)."""
+    """Counters for one serving session (engine + index + cache).
 
-    def __init__(self, clock=time.perf_counter):
+    All numbers live in a :class:`repro.obs.MetricsRegistry` — private
+    by default, or one shared across engines/subsystems when passed in —
+    while this class keeps its original read API (``queries``,
+    ``cache_hits``, ``latency.summary()`` …) for existing callers.
+    """
+
+    def __init__(self, clock=time.perf_counter,
+                 registry: MetricsRegistry | None = None):
         self._clock = clock
-        self.latency = LatencyHistogram()
-        self.queries = 0
-        self.batches = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self._busy_seconds = 0.0
+        self.registry = registry or MetricsRegistry()
+        self.latency = LatencyHistogram(
+            histogram=self.registry.histogram(
+                "serve.latency_seconds", buckets=LATENCY_BUCKETS,
+            )
+        )
+        self._queries = self.registry.counter("serve.queries")
+        self._batches = self.registry.counter("serve.batches")
+        self._cache_hits = self.registry.counter("serve.cache_hits")
+        self._cache_misses = self.registry.counter("serve.cache_misses")
+        self._busy = self.registry.counter("serve.busy_seconds")
 
     # ------------------------------------------------------------------
     def time_batch(self):
@@ -71,16 +99,36 @@ class ServingMetrics:
         return _BatchTimer(self)
 
     def record_batch(self, n_queries: int, seconds: float) -> None:
-        self.queries += int(n_queries)
-        self.batches += 1
-        self._busy_seconds += float(seconds)
+        self._queries.inc(int(n_queries))
+        self._batches.inc()
+        self._busy.inc(float(seconds))
         self.latency.observe(seconds)
 
     def record_cache(self, hits: int = 0, misses: int = 0) -> None:
-        self.cache_hits += int(hits)
-        self.cache_misses += int(misses)
+        self._cache_hits.inc(int(hits))
+        self._cache_misses.inc(int(misses))
 
     # ------------------------------------------------------------------
+    @property
+    def queries(self) -> int:
+        return int(self._queries.value)
+
+    @property
+    def batches(self) -> int:
+        return int(self._batches.value)
+
+    @property
+    def cache_hits(self) -> int:
+        return int(self._cache_hits.value)
+
+    @property
+    def cache_misses(self) -> int:
+        return int(self._cache_misses.value)
+
+    @property
+    def _busy_seconds(self) -> float:
+        return self._busy.value
+
     @property
     def cache_hit_rate(self) -> float:
         total = self.cache_hits + self.cache_misses

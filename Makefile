@@ -1,4 +1,4 @@
-.PHONY: install test test-fast verify bench serve-bench train-bench train-bench-smoke obs-smoke examples all
+.PHONY: install test test-fast verify bench serve-bench train-bench train-bench-smoke obs-smoke perf-gate perf-gate-smoke examples all
 
 install:
 	pip install -e . --no-build-isolation
@@ -32,6 +32,17 @@ train-bench-smoke:
 obs-smoke:
 	PYTHONPATH=src python -m repro.cli obs-smoke --epochs 2 --out benchmarks/reports/obs_smoke
 	PYTHONPATH=src python -m repro.cli obs-report benchmarks/reports/obs_smoke/events.jsonl
+
+# run the smoke bench (appends a ledger RunRecord), then gate the run
+# against its trailing same-fingerprint baseline (docs/observability.md)
+perf-gate:
+	REPRO_BENCH_TRACE=1 PYTHONPATH=src python benchmarks/bench_train_throughput.py --smoke
+	PYTHONPATH=src python -m repro.cli obs-gate --ledger benchmarks/reports/ledger.jsonl
+
+# fast pytest covering the same loop: seed a fresh ledger, re-run,
+# assert the gate passes on jitter and fails on an injected 2x slowdown
+perf-gate-smoke:
+	PYTHONPATH=src python -m pytest -q tests/test_obs_gate_smoke.py
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f; done

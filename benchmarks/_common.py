@@ -12,7 +12,10 @@ Scale knobs (environment variables):
 * ``REPRO_BENCH_TRACE``  — non-empty: record repro.obs spans for every
   bench in the process and write ``reports/events.jsonl`` (readable via
   ``repro obs-report``) plus ``reports/trace.json`` (chrome://tracing)
-  at exit
+  at exit, and append one RunRecord per bench artifact to the run
+  ledger (``reports/ledger.jsonl``; see ``repro obs-ledger`` /
+  ``repro obs-gate``)
+* ``REPRO_LEDGER_PATH``  — override the ledger destination
 """
 
 from __future__ import annotations
@@ -33,24 +36,106 @@ BENCH_EPOCHS = int(os.environ.get("REPRO_BENCH_EPOCHS", "40"))
 BENCH_DIM = int(os.environ.get("REPRO_BENCH_DIM", "32"))
 
 REPORT_DIR = Path(__file__).parent / "reports"
+ROOT_DIR = Path(__file__).resolve().parent.parent
+
+
+def _warn(message: str) -> None:
+    print(f"warning: {message}", file=sys.stderr)
+
+
+def report_path(filename: str) -> Path:
+    """The one place benchmark reports live: ``benchmarks/reports/``.
+
+    Every bench routes its artifacts through here so the ledger and the
+    perf gate have a single directory to look at.
+    """
+    try:
+        REPORT_DIR.mkdir(parents=True, exist_ok=True)
+    except OSError as error:
+        _warn(f"could not create report directory {REPORT_DIR}: {error}")
+    return REPORT_DIR / filename
+
 
 if os.environ.get("REPRO_BENCH_TRACE"):
     from repro import obs as _obs
 
     _tracer = _obs.Tracer()
     _obs.set_tracer(_tracer)
+    # nested recorders (cross_validate, obs-smoke) land in the same ledger
+    os.environ.setdefault("REPRO_LEDGER_PATH",
+                          str(REPORT_DIR / "ledger.jsonl"))
 
     @atexit.register
     def _write_trace_reports() -> None:
+        # Runs during interpreter shutdown: an unwritable/missing
+        # reports/ directory must cost a warning, never a traceback.
         if not _tracer.events:
             return
-        REPORT_DIR.mkdir(exist_ok=True)
-        _tracer.write_jsonl(REPORT_DIR / "events.jsonl")
-        _tracer.write_chrome_trace(REPORT_DIR / "trace.json")
+        try:
+            REPORT_DIR.mkdir(parents=True, exist_ok=True)
+            _tracer.write_jsonl(REPORT_DIR / "events.jsonl")
+            _tracer.write_chrome_trace(REPORT_DIR / "trace.json")
+        except OSError as error:
+            _warn(f"could not write telemetry reports under {REPORT_DIR}: "
+                  f"{error}")
+            return
         sys.__stdout__.write(
             f"wrote {len(_tracer.events)} telemetry events to "
             f"{REPORT_DIR / 'events.jsonl'} (+ trace.json)\n"
         )
+
+
+# ---------------------------------------------------------------------------
+# run ledger integration: one RunRecord per bench artifact
+# ---------------------------------------------------------------------------
+_RECORDED_BENCHES: set[str] = set()
+
+
+def bench_config(**extra) -> dict:
+    """The knobs that make two bench runs comparable (fingerprinted)."""
+    config = {"size": BENCH_SIZE, "epochs": BENCH_EPOCHS, "dim": BENCH_DIM}
+    config.update(extra)
+    return config
+
+
+def record_bench(name: str, scalars: dict | None = None) -> dict | None:
+    """Append one ledger RunRecord for the named bench artifact.
+
+    Active when ``REPRO_BENCH_TRACE`` or ``REPRO_LEDGER_PATH`` is set;
+    at most one record per artifact name per process (re-renders of the
+    same table don't inflate the history).  Failures warn and continue —
+    this shares the guarded-path policy of the atexit trace writer.
+    """
+    path = os.environ.get("REPRO_LEDGER_PATH")
+    if not path and os.environ.get("REPRO_BENCH_TRACE"):
+        path = str(REPORT_DIR / "ledger.jsonl")
+    if not path or name in _RECORDED_BENCHES:
+        return None
+    from repro.obs.ledger import record_run
+
+    record = record_run("bench", name, config=bench_config(bench=name),
+                        scalars=scalars, path=path)
+    if record is not None:
+        _RECORDED_BENCHES.add(name)
+    return record
+
+
+def _bench_scalars(payload) -> dict:
+    """Headline numbers the perf gate reads, fished out of a JSON
+    report payload (defensive: absent keys mean fewer scalars)."""
+    scalars: dict = {}
+    if not isinstance(payload, dict):
+        return scalars
+    scales = payload.get("scales")
+    if isinstance(scales, list) and scales:
+        last = scales[-1]
+        try:
+            scalars["steps_per_second"] = float(last["sparse"]["steps_per_sec"])
+            scalars["median_step_ms"] = float(last["sparse"]["median_step_ms"])
+            scalars["speedup"] = float(last["speedup"])
+        except (KeyError, TypeError, ValueError):
+            pass
+    return scalars
 
 APPROACH_ORDER = [
     "MTransE", "IPTransE", "JAPE", "KDCoE", "BootEA", "GCNAlign",
@@ -66,8 +151,8 @@ def report(title: str, lines: list[str], filename: str) -> None:
     text = "\n".join([f"== {title} ==", *lines, ""])
     sys.__stdout__.write(text + "\n")
     sys.__stdout__.flush()
-    REPORT_DIR.mkdir(exist_ok=True)
-    (REPORT_DIR / filename).write_text(text, encoding="utf-8")
+    report_path(filename).write_text(text, encoding="utf-8")
+    record_bench(Path(filename).stem)
 
 
 def write_json_report(target: str | Path, payload) -> Path:
@@ -75,17 +160,36 @@ def write_json_report(target: str | Path, payload) -> Path:
     ``benchmarks/reports/``, a path with directories is used as-is.
 
     Keys are sorted so report diffs are stable run to run regardless of
-    dict construction order.
+    dict construction order.  ``BENCH_*.json`` reports additionally get
+    a repo-root symlink (copy when symlinks are unavailable) so paths
+    that predate the unified ``benchmarks/reports/`` location keep
+    resolving.
     """
     path = Path(target)
     if path.parent == Path("."):
-        REPORT_DIR.mkdir(exist_ok=True)
-        path = REPORT_DIR / path
+        path = report_path(path.name)
     else:
         path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
                     encoding="utf-8")
+    if path.name.startswith("BENCH_") and path.parent == REPORT_DIR:
+        _mirror_to_root(path)
+    record_bench(path.stem, scalars=_bench_scalars(payload))
     return path
+
+
+def _mirror_to_root(path: Path) -> None:
+    """Refresh the root-level ``BENCH_*.json`` back-compat alias."""
+    link = ROOT_DIR / path.name
+    try:
+        if link.is_symlink() or link.exists():
+            link.unlink()
+        link.symlink_to(os.path.relpath(path, ROOT_DIR))
+    except OSError:
+        try:
+            link.write_bytes(path.read_bytes())
+        except OSError as error:
+            _warn(f"could not mirror {path.name} to {ROOT_DIR}: {error}")
 
 
 def make_config(**overrides) -> ApproachConfig:

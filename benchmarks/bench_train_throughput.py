@@ -25,15 +25,15 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from pathlib import Path
 
 import numpy as np
 
 from repro.autodiff import SGD, Adam, set_sparse_gradients
 from repro.embedding import TransE, margin_ranking_loss, uniform_corrupt
 
-REPORT_DIR = Path(__file__).parent / "reports"
-REPORT_PATH = REPORT_DIR / "BENCH_train_throughput.json"
+from _common import report_path, write_json_report
+
+REPORT_PATH = report_path("BENCH_train_throughput.json")
 
 FULL_SCALES = [(1_000, 256), (10_000, 256)]
 SMOKE_SCALES = [(500, 64)]
@@ -142,8 +142,6 @@ def run(smoke: bool = False, steps: int | None = None) -> dict:
             f"speedup={result['speedup']:6.1f}x",
             file=sys.__stdout__,
         )
-    from _common import write_json_report
-
     write_json_report(REPORT_PATH, report)
     print(f"  wrote {REPORT_PATH}", file=sys.__stdout__)
     return report

@@ -117,6 +117,56 @@ def build_parser() -> argparse.ArgumentParser:
     obs_smoke.add_argument("--dim", type=int, default=32)
     obs_smoke.add_argument("--seed", type=int, default=0)
 
+    obs_ledger = commands.add_parser(
+        "obs-ledger",
+        help="inspect the run ledger (list / show / tail / compact)",
+    )
+    obs_ledger.add_argument("action",
+                            choices=["list", "show", "tail", "compact"])
+    obs_ledger.add_argument("run_id", nargs="?", default=None,
+                            help="run id (required for `show`)")
+    obs_ledger.add_argument("--ledger", type=Path, default=None,
+                            help="ledger path (default: REPRO_LEDGER_PATH "
+                                 "or reports/ledger.jsonl)")
+    obs_ledger.add_argument("-n", type=int, default=10,
+                            help="rows for `tail` / runs kept per "
+                                 "fingerprint by `compact`")
+
+    obs_gate = commands.add_parser(
+        "obs-gate",
+        help="compare the latest run against its ledger baseline; "
+             "exit 1 on regression",
+    )
+    obs_gate.add_argument("--ledger", type=Path, default=None)
+    obs_gate.add_argument("--run", default=None,
+                          help="run id to gate (default: latest)")
+    obs_gate.add_argument("--metric", action="append", default=[],
+                          help="metric to judge (repeatable; default: "
+                               "every known metric the run carries)")
+    obs_gate.add_argument("--n-baseline", type=int, default=5,
+                          help="trailing same-fingerprint runs to "
+                               "compare against (default 5)")
+    obs_gate.add_argument("--rel-threshold", type=float, default=None,
+                          help="override every metric's relative-change "
+                               "threshold (e.g. 0.1 for 10%%)")
+    obs_gate.add_argument("--json", action="store_true",
+                          help="print the machine-readable verdict")
+
+    obs_export = commands.add_parser(
+        "obs-export",
+        help="export recorded metrics in a standard format",
+    )
+    obs_export.add_argument("--prometheus", action="store_true",
+                            help="Prometheus text exposition format")
+    obs_export.add_argument("--events", type=Path, default=None,
+                            help="take the snapshot from this events.jsonl")
+    obs_export.add_argument("--ledger", type=Path, default=None,
+                            help="take the snapshot from this run ledger")
+    obs_export.add_argument("--run", default=None,
+                            help="ledger run id (default: latest)")
+    obs_export.add_argument("--out", type=Path, default=None,
+                            help="write here instead of stdout")
+
     return parser
 
 
@@ -249,6 +299,20 @@ def _cmd_serve_query(args: argparse.Namespace) -> int:
         print(f"recall@{args.k} vs exact (n={args.recall_sample}): "
               f"{recall:.3f}")
     print(engine.metrics.format())
+    # ledger the serving session (no-op unless REPRO_LEDGER_PATH is set)
+    from .obs import record_run
+
+    summary = engine.metrics.summary()
+    record_run(
+        "serve", f"serve-query/{stored.name}",
+        config={"dataset": stored.name, "index": args.index, "k": args.k,
+                "batch_size": args.batch_size,
+                "cache_size": args.cache_size},
+        scalars={key: summary[key]
+                 for key in ("qps", "p50_ms", "p95_ms", "p99_ms",
+                             "cache_hit_rate")},
+        registry=engine.metrics.registry,
+    )
     return 0
 
 
@@ -256,16 +320,20 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     import json
 
     from .obs import (events_to_chrome, format_op_table, format_phase_table,
-                      load_events)
+                      load_events_tolerant)
 
     if not args.events.is_file():
-        print(f"error: {args.events} is not a file", file=sys.stderr)
+        print(f"error: {args.events} is not a file (record one with "
+              f"REPRO_BENCH_TRACE=1 or `repro obs-smoke`)", file=sys.stderr)
         return 2
-    try:
-        events = load_events(args.events)
-    except ValueError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
+    events, skipped = load_events_tolerant(args.events)
+    if skipped:
+        print(f"warning: skipped {skipped} unreadable line(s) in "
+              f"{args.events} (interrupted run?)", file=sys.stderr)
+    if not events:
+        print(f"error: no readable telemetry events in {args.events}",
+              file=sys.stderr)
+        return 1
     print(f"== telemetry report: {args.events} ==")
     print(format_phase_table(events))
     op_table = format_op_table(events)
@@ -321,6 +389,127 @@ def _cmd_obs_smoke(args: argparse.Namespace) -> int:
     print()
     print("== autodiff op profile ==")
     print(cap.profiler.format())
+    # ledger the run (no-op unless REPRO_LEDGER_PATH is set)
+    obs.record_run(
+        "train", f"obs-smoke/{approach.info.name}",
+        config={"approach": approach.info.name, "family": args.family,
+                "size": args.size, "epochs": args.epochs, "dim": args.dim,
+                "seed": args.seed},
+        scalars={
+            "train_seconds": sum(log.epoch_seconds),
+            "steps_per_second": log.steps_per_second,
+            "peak_rss_bytes": float(log.peak_rss_bytes),
+        },
+        registry=cap.registry,
+    )
+    return 0
+
+
+def _ledger_line(record: dict) -> str:
+    scalars = record.get("scalars", {})
+    headline = " ".join(f"{key}={value:.6g}"
+                        for key, value in sorted(scalars.items())[:4])
+    return (f"{record['ts_utc']}  {record['run_id']}  "
+            f"{record['kind']:<5s} {record['name']:<28s} "
+            f"fp={record['fingerprint'][:8]}  {headline}")
+
+
+def _cmd_obs_ledger(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import RunLedger
+
+    ledger = RunLedger(args.ledger)
+    records, skipped = ledger.read()
+    if skipped:
+        print(f"warning: skipped {skipped} unreadable ledger line(s) in "
+              f"{ledger.path}", file=sys.stderr)
+    if args.action == "compact":
+        if not ledger.path.is_file():
+            print(f"error: no ledger at {ledger.path}", file=sys.stderr)
+            return 2
+        kept, dropped = ledger.compact(keep_last=args.n)
+        print(f"compacted {ledger.path}: kept {kept}, dropped {dropped}")
+        return 0
+    if args.action == "show":
+        if not args.run_id:
+            print("error: `show` needs a run id (see obs-ledger list)",
+                  file=sys.stderr)
+            return 2
+        record = ledger.last(run_id=args.run_id)
+        if record is None:
+            print(f"error: no run {args.run_id!r} in {ledger.path}",
+                  file=sys.stderr)
+            return 2
+        print(json.dumps(record, sort_keys=True, indent=2))
+        return 0
+    if not records:
+        print(f"error: no runs recorded in {ledger.path} (set "
+              f"REPRO_LEDGER_PATH or run a bench with REPRO_BENCH_TRACE=1)",
+              file=sys.stderr)
+        return 1
+    shown = records if args.action == "list" else records[-args.n:]
+    for record in shown:
+        print(_ledger_line(record))
+    print(f"{len(shown)} of {len(records)} run(s) in {ledger.path}")
+    return 0
+
+
+def _cmd_obs_gate(args: argparse.Namespace) -> int:
+    from .obs import RunLedger, gate
+
+    ledger = RunLedger(args.ledger)
+    report = gate(
+        ledger, metrics=args.metric or None, n_baseline=args.n_baseline,
+        run_id=args.run, rel_threshold=args.rel_threshold,
+    )
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.format())
+    if report.status == "no-runs":
+        return 2
+    return report.exit_code
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    from .obs import RunLedger, load_events_tolerant, render_prometheus
+
+    if not args.prometheus:
+        print("error: pick an export format (--prometheus)", file=sys.stderr)
+        return 2
+    if args.events is not None:
+        if not args.events.is_file():
+            print(f"error: {args.events} is not a file", file=sys.stderr)
+            return 2
+        events, _ = load_events_tolerant(args.events)
+        snapshots = [e["snapshot"] for e in events
+                     if e.get("type") == "metrics" and "snapshot" in e]
+        if not snapshots:
+            print(f"error: no metrics snapshot in {args.events}",
+                  file=sys.stderr)
+            return 1
+        snapshot = snapshots[-1]
+        source = str(args.events)
+    else:
+        ledger = RunLedger(args.ledger)
+        record = ledger.last(run_id=args.run)
+        if record is None:
+            print(f"error: no runs in {ledger.path}", file=sys.stderr)
+            return 1
+        snapshot = record["metrics"]
+        source = f"{ledger.path} run {record['run_id']}"
+    text = render_prometheus(snapshot)
+    if not text:
+        print(f"error: empty metrics snapshot in {source}", file=sys.stderr)
+        return 1
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(text, encoding="utf-8")
+        print(f"wrote {args.out} ({len(text.splitlines())} lines from "
+              f"{source})")
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -341,6 +530,12 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_obs_report(args)
     if args.command == "obs-smoke":
         return _cmd_obs_smoke(args)
+    if args.command == "obs-ledger":
+        return _cmd_obs_ledger(args)
+    if args.command == "obs-gate":
+        return _cmd_obs_gate(args)
+    if args.command == "obs-export":
+        return _cmd_obs_export(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -28,6 +28,18 @@ See ``docs/observability.md`` for the full guide.
 
 from __future__ import annotations
 
+from .exporters import (
+    JsonLinesLogger,
+    render_prometheus,
+)
+from .ledger import (
+    RunLedger,
+    RunRecord,
+    config_fingerprint,
+    default_ledger,
+    record_run,
+    validate_record,
+)
 from .opprof import (
     OpProfiler,
     OpStat,
@@ -35,18 +47,26 @@ from .opprof import (
     enable_op_profiler,
     profile_ops,
 )
+from .regress import (
+    GateReport,
+    MetricPolicy,
+    MetricVerdict,
+    gate,
+)
 from .registry import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     get_registry,
+    parse_labelled_name,
     set_registry,
 )
 from .report import (
     format_op_table,
     format_phase_table,
     load_events,
+    load_events_tolerant,
     phase_breakdown,
 )
 from .trace import (
@@ -61,12 +81,17 @@ from .trace import (
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
-    "get_registry", "set_registry",
+    "get_registry", "set_registry", "parse_labelled_name",
     "Tracer", "span", "get_tracer", "set_tracer", "tracing_enabled",
     "events_to_chrome", "peak_rss_bytes",
     "OpProfiler", "OpStat", "enable_op_profiler", "disable_op_profiler",
     "profile_ops",
-    "load_events", "phase_breakdown", "format_phase_table", "format_op_table",
+    "load_events", "load_events_tolerant", "phase_breakdown",
+    "format_phase_table", "format_op_table",
+    "RunLedger", "RunRecord", "record_run", "default_ledger",
+    "config_fingerprint", "validate_record",
+    "GateReport", "MetricPolicy", "MetricVerdict", "gate",
+    "render_prometheus", "JsonLinesLogger",
     "capture", "Capture",
 ]
 

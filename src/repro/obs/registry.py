@@ -29,6 +29,7 @@ __all__ = [
     "MetricsRegistry",
     "get_registry",
     "set_registry",
+    "parse_labelled_name",
 ]
 
 # Default histogram buckets: roughly log-spaced seconds, wide enough for
@@ -180,7 +181,11 @@ class Histogram:
             return data[-1]
         return data[low] * (1.0 - frac) + data[low + 1] * frac
 
-    def snapshot(self) -> dict:
+    def snapshot(self, raw: bool = False) -> dict:
+        """Plain-data view; ``raw=True`` additionally carries the full
+        bucket layout and reservoir samples, making the snapshot
+        loss-free for :meth:`MetricsRegistry.merge_snapshot` — the
+        cross-process path run-ledger records rely on."""
         with self._lock:
             buckets = {}
             for bound, count in zip(self.bounds, self._counts):
@@ -188,11 +193,17 @@ class Histogram:
                     buckets[f"le_{bound:g}"] = count
             if self._counts[-1]:
                 buckets["le_inf"] = self._counts[-1]
-            return {
+            out = {
                 "count": self._count,
                 "sum": self._sum,
                 "buckets": buckets,
             }
+            if raw:
+                out["bounds"] = list(self.bounds)
+                out["counts"] = list(self._counts)
+                out["samples"] = list(self._reservoir)
+                out["reservoir_size"] = self._cap
+            return out
 
     def _merge_from(self, other: "Histogram") -> None:
         if other.bounds != self.bounds:
@@ -223,6 +234,26 @@ def _labelled_name(name: str, labels: dict) -> str:
         return name
     inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
     return f"{name}{{{inner}}}"
+
+
+def parse_labelled_name(key: str) -> tuple[str, dict[str, str]]:
+    """Invert :func:`_labelled_name`: ``"req{side=kg1}"`` ->
+    ``("req", {"side": "kg1"})``.
+
+    Label values are the simple identifiers this codebase uses
+    (approach/dataset names); values containing ``,`` or ``}`` are not
+    round-trippable and callers should not create them.
+    """
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, _, inner = key.partition("{")
+    labels: dict[str, str] = {}
+    for part in inner[:-1].split(","):
+        if not part:
+            continue
+        label, _, value = part.partition("=")
+        labels[label] = value
+    return name, labels
 
 
 class MetricsRegistry:
@@ -269,13 +300,22 @@ class MetricsRegistry:
         )
 
     # ------------------------------------------------------------------
-    def snapshot(self) -> dict:
-        """Plain-data view, keys sorted for stable serialization."""
+    def snapshot(self, include_raw: bool = False) -> dict:
+        """Plain-data view, keys sorted for stable serialization.
+
+        ``include_raw=True`` makes histogram entries loss-free (bucket
+        layout + reservoir samples) so the snapshot survives a JSON
+        round trip into :meth:`merge_snapshot` with percentiles intact.
+        """
         out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
         with self._lock:
             items = sorted(self._metrics.items())
         for (kind, name, labels), metric in items:
-            out[kind + "s"][_labelled_name(name, dict(labels))] = metric.snapshot()
+            if kind == "histogram":
+                data = metric.snapshot(raw=include_raw)
+            else:
+                data = metric.snapshot()
+            out[kind + "s"][_labelled_name(name, dict(labels))] = data
         return out
 
     def merge(self, other: "MetricsRegistry") -> None:
@@ -298,6 +338,55 @@ class MetricsRegistry:
                     reservoir_size=metric._cap, **label_dict,
                 )
                 mine._merge_from(metric)
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a serialized :meth:`snapshot` into this registry.
+
+        The cross-process twin of :meth:`merge`: a worker snapshots,
+        ships JSON, and an aggregator merges.  Counters add, gauges
+        take the snapshot's value, histograms require raw snapshots
+        (``snapshot(include_raw=True)``) and merge exactly — bucket
+        counts add and reservoir samples re-enter the bounded pool, so
+        percentile queries survive the trip.
+        """
+        for key, value in snapshot.get("counters", {}).items():
+            name, labels = parse_labelled_name(key)
+            self.counter(name, **labels).inc(float(value))
+        for key, value in snapshot.get("gauges", {}).items():
+            name, labels = parse_labelled_name(key)
+            self.gauge(name, **labels).set(float(value))
+        for key, data in snapshot.get("histograms", {}).items():
+            name, labels = parse_labelled_name(key)
+            if "bounds" not in data or "counts" not in data:
+                raise ValueError(
+                    f"histogram {key!r} lacks raw data; serialize with "
+                    f"snapshot(include_raw=True) to merge histograms"
+                )
+            bounds = tuple(float(b) for b in data["bounds"])
+            mine = self.histogram(
+                name, buckets=bounds,
+                reservoir_size=int(data.get("reservoir_size",
+                                            DEFAULT_RESERVOIR)),
+                **labels,
+            )
+            if mine.bounds != bounds:
+                raise ValueError(
+                    f"cannot merge histogram {key!r}: bucket layout "
+                    f"differs from the registered metric"
+                )
+            with mine._lock:
+                mine._count += int(data["count"])
+                mine._sum += float(data["sum"])
+                for i, count in enumerate(data["counts"]):
+                    mine._counts[i] += int(count)
+                for value in data.get("samples", []):
+                    value = float(value)
+                    if len(mine._reservoir) < mine._cap:
+                        mine._reservoir.append(value)
+                    else:
+                        slot = mine._rng.randrange(len(mine._reservoir) * 2)
+                        if slot < mine._cap:
+                            mine._reservoir[slot] = value
 
     def reset(self) -> None:
         """Zero every metric, keeping registrations in place."""

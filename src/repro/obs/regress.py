@@ -1,0 +1,429 @@
+"""Perf-regression sentinel: compare a run against its ledger baseline.
+
+"A Critical Assessment of State-of-the-Art in Entity Alignment"
+(Berrendorf et al.) documents how benchmark numbers drift when runs are
+not compared under identical conditions.  This module is the automatic
+comparison: given a :class:`~repro.obs.ledger.RunLedger`, it pits the
+current run against the trailing-N runs *with the same config
+fingerprint* using robust statistics —
+
+* a **median + MAD z-score** (outlier-resistant; a single noisy
+  baseline run cannot shift the verdict the way a mean/stddev test
+  would), and
+* a **bootstrap confidence interval on the ratio of medians** for
+  latency/throughput metrics, so timing noise must be *statistically*
+  distinguishable from the baseline before a regression is declared.
+
+Every metric carries a direction — higher is better for Hits@k and
+QPS, lower for latency and RSS — and classifies as ``ok`` /
+``regressed`` / ``improved`` / ``no-baseline``.  A regression requires
+*all* the evidence to agree: the change points the bad way, exceeds the
+per-metric relative threshold, exceeds the MAD z-score threshold, and
+(where enabled) the bootstrap CI excludes parity.  This conjunction is
+what keeps the gate quiet across ±5% jitter replays while still
+catching a 2x slowdown instantly (``tests/test_obs_regress.py``).
+
+``REPRO_GATE_INJECT_FACTOR`` is a test hook: it worsens every current
+value by the given factor before comparison, letting CI verify the gate
+actually fires without shipping a real regression.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import random
+from dataclasses import dataclass, field, replace
+
+from .ledger import RunLedger, record_metric_value
+
+__all__ = [
+    "MetricPolicy",
+    "MetricVerdict",
+    "GateReport",
+    "DEFAULT_POLICIES",
+    "median",
+    "mad",
+    "robust_z",
+    "bootstrap_ratio_ci",
+    "compare",
+    "gate",
+]
+
+OK = "ok"
+REGRESSED = "regressed"
+IMPROVED = "improved"
+NO_BASELINE = "no-baseline"
+
+# Consistency constant: MAD * 1.4826 estimates sigma for normal data,
+# i.e. z = 0.6745 * (x - median) / MAD.
+_MAD_TO_Z = 0.6745
+
+
+@dataclass(frozen=True)
+class MetricPolicy:
+    """How one metric is judged."""
+
+    name: str
+    higher_is_better: bool
+    # Minimum relative change (|current/median - 1|) before anything is
+    # flagged: timing metrics get wide bands, quality metrics tight ones.
+    rel_threshold: float = 0.20
+    # Minimum robust z-score (median/MAD) the change must also clear.
+    z_threshold: float = 4.0
+    # Baseline runs required before a verdict other than no-baseline.
+    min_baseline: int = 3
+    # Bootstrap the ratio-of-medians CI (for noisy timing metrics).
+    bootstrap: bool = False
+    bootstrap_samples: int = 1000
+    confidence: float = 0.95
+
+
+DEFAULT_POLICIES: dict[str, MetricPolicy] = {
+    policy.name: policy
+    for policy in (
+        # training throughput / time
+        MetricPolicy("steps_per_second", True, rel_threshold=0.20,
+                     bootstrap=True),
+        MetricPolicy("mean_epoch_seconds", False, rel_threshold=0.20,
+                     bootstrap=True),
+        MetricPolicy("median_step_ms", False, rel_threshold=0.20,
+                     bootstrap=True),
+        MetricPolicy("train_seconds", False, rel_threshold=0.25,
+                     bootstrap=True),
+        MetricPolicy("peak_rss_bytes", False, rel_threshold=0.30),
+        # alignment quality
+        MetricPolicy("hits_at_1", True, rel_threshold=0.10, z_threshold=3.0),
+        MetricPolicy("hits_at_5", True, rel_threshold=0.10, z_threshold=3.0),
+        MetricPolicy("mrr", True, rel_threshold=0.10, z_threshold=3.0),
+        # serving
+        MetricPolicy("qps", True, rel_threshold=0.20, bootstrap=True),
+        MetricPolicy("p50_ms", False, rel_threshold=0.25, bootstrap=True),
+        MetricPolicy("p95_ms", False, rel_threshold=0.25, bootstrap=True),
+        MetricPolicy("p99_ms", False, rel_threshold=0.30, bootstrap=True),
+        MetricPolicy("cache_hit_rate", True, rel_threshold=0.20),
+        MetricPolicy("speedup", True, rel_threshold=0.30, bootstrap=True),
+    )
+}
+
+
+# ---------------------------------------------------------------------------
+# robust statistics
+# ---------------------------------------------------------------------------
+def median(values: list[float]) -> float:
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def mad(values: list[float]) -> float:
+    """Median absolute deviation from the median."""
+    center = median(values)
+    return median([abs(v - center) for v in values])
+
+
+def robust_z(value: float, baseline: list[float]) -> float:
+    """MAD-based z-score of ``value`` against ``baseline``.
+
+    Signed like a normal z-score; ``±inf`` when the baseline has zero
+    spread but the value moved (any deviation from a perfectly stable
+    baseline is infinitely surprising), ``0`` when it didn't move.
+    """
+    center = median(baseline)
+    spread = mad(baseline)
+    deviation = value - center
+    if spread == 0.0:
+        if deviation == 0.0:
+            return 0.0
+        return math.copysign(math.inf, deviation)
+    return _MAD_TO_Z * deviation / spread
+
+
+def bootstrap_ratio_ci(
+    value: float,
+    baseline: list[float],
+    *,
+    n_samples: int = 1000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile bootstrap CI for ``value / median(baseline)``.
+
+    Resamples the baseline with replacement; each replicate's statistic
+    is the current value over the resampled median.  Deterministic for
+    a given ``seed``.
+    """
+    if not baseline:
+        raise ValueError("bootstrap needs a non-empty baseline")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    rng = random.Random(seed)
+    n = len(baseline)
+    ratios = []
+    for _ in range(n_samples):
+        resample = [baseline[rng.randrange(n)] for _ in range(n)]
+        center = median(resample)
+        if center == 0.0:
+            ratios.append(math.inf if value > 0 else 1.0)
+        else:
+            ratios.append(value / center)
+    ratios.sort()
+    alpha = (1.0 - confidence) / 2.0
+    lo = ratios[max(0, int(alpha * n_samples))]
+    hi = ratios[min(n_samples - 1, int((1.0 - alpha) * n_samples))]
+    return lo, hi
+
+
+# ---------------------------------------------------------------------------
+# verdicts
+# ---------------------------------------------------------------------------
+@dataclass
+class MetricVerdict:
+    """The sentinel's judgement of one metric."""
+
+    metric: str
+    status: str  # ok | regressed | improved | no-baseline
+    current: float | None = None
+    baseline: list[float] = field(default_factory=list)
+    baseline_median: float | None = None
+    ratio: float | None = None
+    z: float | None = None
+    ci: tuple[float, float] | None = None
+    higher_is_better: bool | None = None
+    reason: str = ""
+
+    def to_dict(self) -> dict:
+        out = {
+            "metric": self.metric,
+            "status": self.status,
+            "current": self.current,
+            "baseline": list(self.baseline),
+            "baseline_median": self.baseline_median,
+            "ratio": self.ratio,
+            "z": self.z,
+            "higher_is_better": self.higher_is_better,
+            "reason": self.reason,
+        }
+        if self.ci is not None:
+            out["ci"] = list(self.ci)
+        return _json_safe(out)
+
+
+def _json_safe(obj):
+    """Replace non-finite floats (json.dumps emits invalid bare tokens
+    for them) with string markers, recursively."""
+    if isinstance(obj, float) and not math.isfinite(obj):
+        return "inf" if obj > 0 else ("-inf" if obj < 0 else "nan")
+    if isinstance(obj, dict):
+        return {k: _json_safe(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_json_safe(v) for v in obj]
+    return obj
+
+
+def compare(
+    value: float,
+    baseline: list[float],
+    policy: MetricPolicy,
+    *,
+    seed: int = 0,
+) -> MetricVerdict:
+    """Judge one current ``value`` against its ``baseline`` values."""
+    verdict = MetricVerdict(
+        metric=policy.name, status=OK, current=float(value),
+        baseline=[float(v) for v in baseline],
+        higher_is_better=policy.higher_is_better,
+    )
+    if len(baseline) < policy.min_baseline:
+        verdict.status = NO_BASELINE
+        verdict.reason = (
+            f"need >= {policy.min_baseline} comparable runs, "
+            f"have {len(baseline)}"
+        )
+        return verdict
+
+    center = median(baseline)
+    verdict.baseline_median = center
+    if center == 0.0:
+        verdict.ratio = math.inf if value else 1.0
+    else:
+        verdict.ratio = value / center
+    verdict.z = robust_z(value, baseline)
+
+    rel_change = verdict.ratio - 1.0 if math.isfinite(verdict.ratio) \
+        else math.copysign(math.inf, value - center)
+    worse = rel_change < 0 if policy.higher_is_better else rel_change > 0
+    magnitude_ok = abs(rel_change) >= policy.rel_threshold
+    z_ok = abs(verdict.z) >= policy.z_threshold
+
+    ci_agrees = True
+    if policy.bootstrap:
+        verdict.ci = bootstrap_ratio_ci(
+            value, baseline, n_samples=policy.bootstrap_samples,
+            confidence=policy.confidence, seed=seed,
+        )
+        lo, hi = verdict.ci
+        # the whole CI must sit on the changed side of parity
+        ci_agrees = hi < 1.0 if rel_change < 0 else lo > 1.0
+
+    if magnitude_ok and z_ok and ci_agrees:
+        verdict.status = REGRESSED if worse else IMPROVED
+        direction = "down" if rel_change < 0 else "up"
+        verdict.reason = (
+            f"{direction} {abs(rel_change):.1%} vs median of "
+            f"{len(baseline)} baseline runs (robust z={verdict.z:.1f})"
+        )
+    else:
+        blockers = []
+        if not magnitude_ok:
+            blockers.append(
+                f"|Δ|={abs(rel_change):.1%} < {policy.rel_threshold:.0%}")
+        if not z_ok:
+            blockers.append(f"|z|={abs(verdict.z):.1f} < {policy.z_threshold:g}")
+        if not ci_agrees:
+            blockers.append("bootstrap CI includes parity")
+        verdict.reason = "within noise (" + "; ".join(blockers) + ")"
+    return verdict
+
+
+# ---------------------------------------------------------------------------
+# the gate
+# ---------------------------------------------------------------------------
+@dataclass
+class GateReport:
+    """Machine-readable outcome of one gate evaluation."""
+
+    status: str  # ok | regressed | no-baseline | no-runs
+    run_id: str | None = None
+    fingerprint: str | None = None
+    name: str | None = None
+    kind: str | None = None
+    verdicts: list[MetricVerdict] = field(default_factory=list)
+    inject_factor: float = 1.0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.status == REGRESSED else 0
+
+    @property
+    def regressions(self) -> list[MetricVerdict]:
+        return [v for v in self.verdicts if v.status == REGRESSED]
+
+    def to_dict(self) -> dict:
+        return {
+            "status": self.status,
+            "run_id": self.run_id,
+            "fingerprint": self.fingerprint,
+            "name": self.name,
+            "kind": self.kind,
+            "inject_factor": self.inject_factor,
+            "exit_code": self.exit_code,
+            "metrics": [v.to_dict() for v in self.verdicts],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+    def format(self) -> str:
+        if self.status == "no-runs":
+            return "perf gate: no runs in ledger (nothing to compare)"
+        lines = [
+            f"perf gate: run {self.run_id} ({self.kind}/{self.name}, "
+            f"fingerprint {self.fingerprint})"
+        ]
+        if self.inject_factor != 1.0:
+            lines.append(f"  !! REPRO_GATE_INJECT_FACTOR="
+                         f"{self.inject_factor:g} active (test hook)")
+        marks = {OK: "ok       ", REGRESSED: "REGRESSED", IMPROVED:
+                 "improved ", NO_BASELINE: "no-base  "}
+        for v in self.verdicts:
+            current = f"{v.current:.6g}" if v.current is not None else "-"
+            base = (f"median {v.baseline_median:.6g} (n={len(v.baseline)})"
+                    if v.baseline_median is not None
+                    else f"n={len(v.baseline)}")
+            lines.append(f"  {marks[v.status]} {v.metric:<20s} "
+                         f"current {current:>12s}  baseline {base}  "
+                         f"[{v.reason}]")
+        lines.append(f"verdict: {self.status.upper()}")
+        return "\n".join(lines)
+
+
+def _injected(value: float, policy: MetricPolicy, factor: float) -> float:
+    """Worsen ``value`` by ``factor`` along the metric's bad direction."""
+    if factor == 1.0 or factor <= 0:
+        return value
+    return value / factor if policy.higher_is_better else value * factor
+
+
+def gate(
+    ledger: RunLedger,
+    *,
+    metrics: list[str] | None = None,
+    n_baseline: int = 5,
+    policies: dict[str, MetricPolicy] | None = None,
+    run_id: str | None = None,
+    fingerprint: str | None = None,
+    seed: int = 0,
+    inject_factor: float | None = None,
+    rel_threshold: float | None = None,
+) -> GateReport:
+    """Evaluate the most recent run (or ``run_id``) against its
+    trailing-``n_baseline`` same-fingerprint history.
+
+    Metrics default to every policy-known scalar the current run
+    carries.  ``rel_threshold`` overrides every policy's band (CLI
+    knob); ``inject_factor`` (or ``REPRO_GATE_INJECT_FACTOR``) worsens
+    current values first — the CI self-test hook.
+    """
+    policies = dict(policies or DEFAULT_POLICIES)
+    if rel_threshold is not None:
+        policies = {name: replace(policy, rel_threshold=rel_threshold)
+                    for name, policy in policies.items()}
+    if inject_factor is None:
+        inject_factor = float(
+            os.environ.get("REPRO_GATE_INJECT_FACTOR") or 1.0)
+
+    current = ledger.last(run_id=run_id)
+    if current is None:
+        return GateReport(status="no-runs", inject_factor=inject_factor)
+    fingerprint = fingerprint or current["fingerprint"]
+
+    if metrics is None:
+        metrics = [name for name in policies
+                   if record_metric_value(current, name) is not None]
+
+    report = GateReport(
+        status=OK, run_id=current["run_id"], fingerprint=fingerprint,
+        name=current["name"], kind=current["kind"],
+        inject_factor=inject_factor,
+    )
+    for metric in metrics:
+        policy = policies.get(metric)
+        if policy is None:
+            # unknown metric: judged like a throughput number by default
+            policy = MetricPolicy(metric, higher_is_better=True)
+        value = record_metric_value(current, metric)
+        if value is None:
+            report.verdicts.append(MetricVerdict(
+                metric=metric, status=NO_BASELINE,
+                reason="metric absent from current run"))
+            continue
+        value = _injected(value, policy, inject_factor)
+        baseline = ledger.baseline(
+            metric, fingerprint, n=n_baseline,
+            exclude_run_id=current["run_id"],
+            kind=current["kind"], name=current["name"],
+        )
+        report.verdicts.append(compare(value, baseline, policy, seed=seed))
+
+    if any(v.status == REGRESSED for v in report.verdicts):
+        report.status = REGRESSED
+    elif report.verdicts and all(v.status == NO_BASELINE
+                                 for v in report.verdicts):
+        report.status = NO_BASELINE
+    return report

@@ -11,12 +11,17 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-__all__ = ["load_events", "phase_breakdown", "format_phase_table",
-           "format_op_table"]
+__all__ = ["load_events", "load_events_tolerant", "phase_breakdown",
+           "format_phase_table", "format_op_table"]
 
 
 def load_events(path) -> list[dict]:
-    """Parse a JSON-lines event file (blank lines ignored)."""
+    """Parse a JSON-lines event file (blank lines ignored).
+
+    Strict: the first malformed line raises :class:`ValueError`.  For
+    files that may end in a truncated line (an interrupted bench), use
+    :func:`load_events_tolerant`.
+    """
     events = []
     text = Path(path).read_text(encoding="utf-8")
     for lineno, line in enumerate(text.splitlines(), start=1):
@@ -31,6 +36,33 @@ def load_events(path) -> list[dict]:
             raise ValueError(f"{path}:{lineno}: event must be a JSON object")
         events.append(event)
     return events
+
+
+def load_events_tolerant(path) -> tuple[list[dict], int]:
+    """Like :func:`load_events`, but skip unreadable lines.
+
+    A bench killed mid-write leaves a truncated trailing line; that
+    should cost a warning, not the whole report.  Returns the readable
+    events plus the count of lines skipped (malformed JSON, non-object
+    events, undecodable bytes).
+    """
+    events: list[dict] = []
+    skipped = 0
+    text = Path(path).read_text(encoding="utf-8", errors="replace")
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            skipped += 1
+            continue
+        if not isinstance(event, dict):
+            skipped += 1
+            continue
+        events.append(event)
+    return events, skipped
 
 
 def phase_breakdown(events: list[dict]) -> list[dict]:

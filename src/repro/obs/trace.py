@@ -18,6 +18,7 @@ Clocks are injectable for deterministic tests:
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import sys
@@ -124,6 +125,12 @@ class _Span:
         return False
 
 
+# Process-unique tracer ids: pid plus a monotone counter, so log lines
+# written by JsonLinesLogger can name the trace they belong to even
+# when several tracers run in one interpreter.
+_TRACE_COUNTER = itertools.count(1)
+
+
 class Tracer:
     """Collects span events for one run."""
 
@@ -135,6 +142,7 @@ class Tracer:
         self._epoch = clock()
         self._stack: list[_Span] = []
         self._next_id = 0
+        self.trace_id = f"{os.getpid():x}-{next(_TRACE_COUNTER)}"
         self.events: list[dict] = []
 
     # ------------------------------------------------------------------

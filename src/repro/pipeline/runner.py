@@ -17,6 +17,7 @@ from ..alignment.evaluate import RankMetrics
 from ..approaches.base import EmbeddingApproach, TrainingLog
 from ..kg import AlignmentSplit, KGPair
 from ..obs import span
+from ..obs.ledger import record_run
 
 __all__ = ["FoldResult", "CVResult", "run_fold", "cross_validate"]
 
@@ -129,4 +130,26 @@ def cross_validate(
               n_folds=n_folds):
         for split in splits:
             result.folds.append(run_fold(factory, pair, split, hits_at=hits_at))
+    # Persist the run to the ledger (no-op unless REPRO_LEDGER_PATH is
+    # set) so `repro obs-gate` can compare future CV runs against it.
+    record_run("cv", f"{name}/{pair.name}",
+               config={"approach": name, "dataset": pair.name,
+                       "n_folds": n_folds, "seed": seed,
+                       "hits_at": list(hits_at)},
+               scalars=_cv_scalars(result, hits_at))
     return result
+
+
+def _cv_scalars(result: CVResult, hits_at: tuple[int, ...]) -> dict:
+    """The headline CVResult numbers the regression gate understands."""
+    scalars = {
+        "train_seconds": result.train_seconds,
+        "steps_per_second": result.steps_per_second,
+        "mean_epoch_seconds": result.mean_epoch_seconds,
+        "peak_rss_bytes": float(result.peak_rss_bytes),
+    }
+    for k in hits_at:
+        mean, _ = result.mean_std(f"hits@{k}")
+        scalars[f"hits_at_{k}"] = mean
+    scalars["mrr"] = result.mean_std("mrr")[0]
+    return scalars

@@ -141,3 +141,10 @@ class QueryEngine:
     @property
     def cache_len(self) -> int:
         return len(self._cache)
+
+    def metrics_text(self) -> str:
+        """This engine's serving metrics in Prometheus text exposition
+        format — the body a deployment's ``/metrics`` endpoint serves."""
+        from ..obs.exporters import render_prometheus
+
+        return render_prometheus(self.metrics.registry)

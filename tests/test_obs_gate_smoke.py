@@ -1,0 +1,91 @@
+"""`make perf-gate` in miniature, as a fast test.
+
+Seeds a fresh temporary ledger by running the in-process smoke
+train-throughput bench a few times, then checks the two halves of the
+gate contract: real run-to-run jitter passes, an injected 2x slowdown
+(the ``REPRO_GATE_INJECT_FACTOR`` CI hook) fails with exit code 1.
+"""
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import cli
+from repro.obs import RunLedger, gate
+
+BENCH_DIR = Path(__file__).parent.parent / "benchmarks"
+
+# Timing metrics only: the smoke-scale dense/sparse `speedup` ratio is
+# too volatile for a fast test, and quality metrics need a CV run.
+GATED_METRICS = ["steps_per_second", "median_step_ms"]
+
+N_RUNS = 6  # 5-run trailing baseline + the current run
+
+
+@pytest.fixture(scope="module")
+def smoke_ledger(tmp_path_factory):
+    """A ledger holding ``N_RUNS`` genuine smoke-bench runs."""
+    tmp = tmp_path_factory.mktemp("gate_smoke")
+    ledger_path = tmp / "ledger.jsonl"
+    sys.path.insert(0, str(BENCH_DIR))
+    try:
+        import _common
+        import bench_train_throughput as bench
+    finally:
+        sys.path.remove(str(BENCH_DIR))
+    saved_report_path = bench.REPORT_PATH
+    saved_env = os.environ.get("REPRO_LEDGER_PATH")
+    bench.REPORT_PATH = tmp / "BENCH_train_throughput.json"
+    os.environ.pop("REPRO_LEDGER_PATH", None)
+    try:
+        # one unrecorded warmup run: cold caches would otherwise widen
+        # the baseline spread enough to blunt the MAD z-score
+        bench.run(smoke=True, steps=8)
+        os.environ["REPRO_LEDGER_PATH"] = str(ledger_path)
+        for _ in range(N_RUNS):
+            # each bench process records once; emulate fresh processes
+            _common._RECORDED_BENCHES.discard("BENCH_train_throughput")
+            bench.run(smoke=True, steps=8)
+    finally:
+        bench.REPORT_PATH = saved_report_path
+        if saved_env is None:
+            os.environ.pop("REPRO_LEDGER_PATH", None)
+        else:
+            os.environ["REPRO_LEDGER_PATH"] = saved_env
+    return ledger_path
+
+
+def test_ledger_holds_one_record_per_run(smoke_ledger):
+    records, skipped = RunLedger(smoke_ledger).read()
+    assert skipped == 0
+    assert len(records) == N_RUNS
+    assert len({r["run_id"] for r in records}) == N_RUNS
+    assert len({r["fingerprint"] for r in records}) == 1
+
+
+def test_gate_passes_on_real_jitter(smoke_ledger):
+    report = gate(RunLedger(smoke_ledger), metrics=GATED_METRICS)
+    assert report.status == "ok", report.format()
+    assert report.exit_code == 0
+
+
+def test_gate_fails_with_injected_2x_slowdown(smoke_ledger):
+    report = gate(RunLedger(smoke_ledger), metrics=GATED_METRICS,
+                  inject_factor=2.0)
+    assert report.status == "regressed", report.format()
+    assert report.exit_code == 1
+    assert {v.metric for v in report.regressions} == set(GATED_METRICS)
+
+
+def test_cli_gate_honors_inject_env(smoke_ledger, monkeypatch, capsys):
+    argv = ["obs-gate", "--ledger", str(smoke_ledger)]
+    for metric in GATED_METRICS:
+        argv += ["--metric", metric]
+    assert cli.main(argv) == 0
+    capsys.readouterr()
+    monkeypatch.setenv("REPRO_GATE_INJECT_FACTOR", "2.0")
+    assert cli.main(argv) == 1
+    out = capsys.readouterr().out
+    assert "verdict: REGRESSED" in out

@@ -273,3 +273,35 @@ class TestCLIRoundTrip:
         code = cli.main(["obs-report", str(tmp_path / "none.jsonl")])
         assert code == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestObsReportTolerance:
+    """obs-report over partial/corrupt event files: warn, never crash."""
+
+    SPAN = json.dumps({"type": "span", "name": "fit", "id": 1,
+                       "parent_id": None, "depth": 0, "ts": 0.0,
+                       "dur_s": 1.0, "cpu_s": 0.9,
+                       "rss_peak_delta_bytes": 0})
+
+    def test_corrupt_lines_skipped_with_warning(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        path.write_text(self.SPAN + '\n{"type": "span", "na\n[1, 2]\n',
+                        encoding="utf-8")
+        assert cli.main(["obs-report", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "skipped 2 unreadable line(s)" in captured.err
+        assert "fit" in captured.out
+
+    def test_nothing_readable_exits_1(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        path.write_text("garbage\n", encoding="utf-8")
+        assert cli.main(["obs-report", str(path)]) == 1
+        assert "no readable telemetry events" in capsys.readouterr().err
+
+    def test_load_events_strict_vs_tolerant(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(self.SPAN + "\nbroken\n", encoding="utf-8")
+        with pytest.raises(ValueError):
+            obs.load_events(path)
+        events, skipped = obs.load_events_tolerant(path)
+        assert len(events) == 1 and skipped == 1

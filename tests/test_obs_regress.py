@@ -1,0 +1,268 @@
+"""Regression sentinel: robust stats, verdicts, and the gate.
+
+The ISSUE acceptance criteria live here: against a 5-run synthetic
+baseline the gate must catch an injected 2x slowdown in
+``steps_per_second`` and a 30% ``hits_at_1`` drop, while staying quiet
+across 20 jitter-only (±5%) replays with fixed seeds — zero false
+positives.
+"""
+
+import json
+import math
+import random
+
+import pytest
+
+from repro import cli
+from repro.obs.ledger import RunLedger, RunRecord
+from repro.obs.regress import (
+    DEFAULT_POLICIES,
+    MetricPolicy,
+    bootstrap_ratio_ci,
+    compare,
+    gate,
+    mad,
+    median,
+    robust_z,
+)
+
+# Headline scalars of the synthetic runs (one value per gated metric).
+BASE_SCALARS = {
+    "steps_per_second": 1000.0,
+    "mean_epoch_seconds": 2.0,
+    "hits_at_1": 0.60,
+    "mrr": 0.70,
+}
+
+JITTER = 0.05  # the ±5% noise band the gate must tolerate
+
+
+def jittered(rng: random.Random, factors: dict | None = None) -> dict:
+    """BASE_SCALARS under ±5% uniform noise, optionally scaled per metric."""
+    factors = factors or {}
+    return {
+        name: base * factors.get(name, 1.0)
+        * (1.0 + rng.uniform(-JITTER, JITTER))
+        for name, base in BASE_SCALARS.items()
+    }
+
+
+def seed_ledger(path, seed: int, n_baseline: int = 5,
+                current_factors: dict | None = None) -> RunLedger:
+    """A ledger holding ``n_baseline`` jittered runs plus one current
+    run, all under the same config fingerprint."""
+    rng = random.Random(seed)
+    ledger = RunLedger(path)
+    for _ in range(n_baseline):
+        ledger.append(RunRecord(kind="bench", name="synthetic",
+                                config={"case": "gate"},
+                                scalars=jittered(rng)))
+    ledger.append(RunRecord(kind="bench", name="synthetic",
+                            config={"case": "gate"},
+                            scalars=jittered(rng, current_factors)))
+    return ledger
+
+
+# ---------------------------------------------------------------------------
+# robust statistics
+# ---------------------------------------------------------------------------
+class TestRobustStats:
+    def test_median(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([4.0, 1.0, 2.0, 3.0]) == 2.5
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_mad_resists_outliers(self):
+        clean = [10.0, 10.5, 9.5, 10.2, 9.8]
+        spiked = clean + [1000.0]
+        assert mad(spiked) < 1.0  # a mean/std test would explode here
+
+    def test_robust_z_sign_and_zero_spread(self):
+        baseline = [10.0, 10.0, 10.0]
+        assert robust_z(10.0, baseline) == 0.0
+        assert robust_z(11.0, baseline) == math.inf
+        assert robust_z(9.0, baseline) == -math.inf
+        spread = [9.0, 10.0, 11.0]
+        assert robust_z(12.0, spread) > 0 > robust_z(8.0, spread)
+
+    def test_bootstrap_ci_deterministic_and_brackets_ratio(self):
+        baseline = [100.0, 102.0, 98.0, 101.0, 99.0]
+        lo, hi = bootstrap_ratio_ci(50.0, baseline, seed=7)
+        assert (lo, hi) == bootstrap_ratio_ci(50.0, baseline, seed=7)
+        assert lo <= 50.0 / median(baseline) <= hi
+        assert hi < 1.0  # a halving is unambiguous at any resampling
+        lo, hi = bootstrap_ratio_ci(100.5, baseline, seed=7)
+        assert lo < 1.0 < hi  # parity stays inside the interval
+        with pytest.raises(ValueError):
+            bootstrap_ratio_ci(1.0, [])
+
+
+# ---------------------------------------------------------------------------
+# per-metric verdicts
+# ---------------------------------------------------------------------------
+class TestCompare:
+    POLICY = MetricPolicy("steps_per_second", higher_is_better=True,
+                          rel_threshold=0.20, bootstrap=True)
+
+    def test_no_baseline_below_minimum(self):
+        verdict = compare(100.0, [100.0, 100.0], self.POLICY)
+        assert verdict.status == "no-baseline"
+        assert "have 2" in verdict.reason
+
+    def test_clear_regression_and_improvement(self):
+        baseline = [100.0, 102.0, 98.0, 101.0, 99.0]
+        down = compare(50.0, baseline, self.POLICY)
+        assert down.status == "regressed"
+        assert down.ratio == pytest.approx(0.5)
+        up = compare(200.0, baseline, self.POLICY)
+        assert up.status == "improved"
+        # for a lower-is-better metric the same doubling is a regression
+        latency = MetricPolicy("p95_ms", higher_is_better=False,
+                               rel_threshold=0.20)
+        assert compare(200.0, baseline, latency).status == "regressed"
+
+    def test_small_changes_are_within_noise(self):
+        baseline = [100.0, 102.0, 98.0, 101.0, 99.0]
+        verdict = compare(95.0, baseline, self.POLICY)
+        assert verdict.status == "ok"
+        assert "within noise" in verdict.reason
+
+    def test_big_but_statistically_weak_change_blocked_by_z(self):
+        # wide baseline spread: a 25% drop clears the magnitude band but
+        # not the MAD z-score — the conjunction keeps the gate quiet
+        baseline = [60.0, 100.0, 140.0, 80.0, 120.0]
+        verdict = compare(75.0, baseline,
+                          MetricPolicy("qps", higher_is_better=True,
+                                       rel_threshold=0.20))
+        assert verdict.status == "ok"
+        assert "z" in verdict.reason
+
+    def test_verdict_json_safe_with_infinite_z(self):
+        verdict = compare(11.0, [10.0, 10.0, 10.0],
+                          MetricPolicy("speedup", higher_is_better=True,
+                                       rel_threshold=0.05, z_threshold=1.0))
+        assert verdict.z == math.inf
+        data = json.loads(json.dumps(verdict.to_dict()))
+        assert data["z"] == "inf"
+
+
+# ---------------------------------------------------------------------------
+# the gate: acceptance criteria
+# ---------------------------------------------------------------------------
+class TestGateAcceptance:
+    def test_detects_injected_2x_slowdown(self, tmp_path):
+        ledger = seed_ledger(tmp_path / "ledger.jsonl", seed=42)
+        report = gate(ledger, inject_factor=2.0)
+        assert report.status == "regressed"
+        assert report.exit_code == 1
+        regressed = {v.metric for v in report.regressions}
+        # the injection worsens every metric's bad direction, so both
+        # throughput and timing fire; steps_per_second is the headliner
+        assert "steps_per_second" in regressed
+        sps = next(v for v in report.verdicts
+                   if v.metric == "steps_per_second")
+        assert sps.ratio < 0.6
+        assert sps.ci is not None and sps.ci[1] < 1.0
+
+    def test_detects_30pct_hits_drop(self, tmp_path):
+        ledger = seed_ledger(tmp_path / "ledger.jsonl", seed=43,
+                             current_factors={"hits_at_1": 0.70})
+        report = gate(ledger)
+        assert report.status == "regressed"
+        regressed = {v.metric for v in report.regressions}
+        assert regressed == {"hits_at_1"}
+        hits = next(v for v in report.verdicts if v.metric == "hits_at_1")
+        assert hits.status == "regressed"
+        assert "down" in hits.reason
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_zero_false_positives_on_jitter_replays(self, tmp_path, seed):
+        ledger = seed_ledger(tmp_path / f"ledger_{seed}.jsonl", seed=seed)
+        report = gate(ledger)
+        assert report.status == "ok", (
+            f"false positive at seed {seed}:\n{report.format()}"
+        )
+        assert report.regressions == []
+        assert report.exit_code == 0
+
+    def test_inject_factor_read_from_env(self, tmp_path, monkeypatch):
+        ledger = seed_ledger(tmp_path / "ledger.jsonl", seed=1)
+        monkeypatch.setenv("REPRO_GATE_INJECT_FACTOR", "2.0")
+        report = gate(ledger)
+        assert report.inject_factor == 2.0
+        assert report.status == "regressed"
+        assert "REPRO_GATE_INJECT_FACTOR" in report.format()
+        monkeypatch.delenv("REPRO_GATE_INJECT_FACTOR")
+        assert gate(ledger).status == "ok"
+
+
+class TestGateMechanics:
+    def test_no_runs_and_no_baseline(self, tmp_path):
+        empty = RunLedger(tmp_path / "none.jsonl")
+        assert gate(empty).status == "no-runs"
+        short = seed_ledger(tmp_path / "short.jsonl", seed=0, n_baseline=1)
+        report = gate(short)
+        assert report.status == "no-baseline"
+        assert all(v.status == "no-baseline" for v in report.verdicts)
+        assert report.exit_code == 0  # never fail a fresh ledger
+
+    def test_fingerprint_scopes_the_baseline(self, tmp_path):
+        ledger = seed_ledger(tmp_path / "ledger.jsonl", seed=2)
+        # a differently-configured (hence differently-fingerprinted)
+        # terrible run must not poison the comparable pool
+        ledger.append(RunRecord(kind="bench", name="synthetic",
+                                config={"case": "other"},
+                                scalars={"steps_per_second": 1.0}))
+        rng = random.Random(99)
+        current = ledger.append(RunRecord(
+            kind="bench", name="synthetic", config={"case": "gate"},
+            scalars=jittered(rng)).to_dict())
+        report = gate(ledger, run_id=current["run_id"])
+        assert report.status == "ok"
+
+    def test_explicit_metrics_and_threshold_override(self, tmp_path):
+        ledger = seed_ledger(tmp_path / "ledger.jsonl", seed=3,
+                             current_factors={"mrr": 0.85})
+        # default 10% band flags the 15% MRR drop...
+        assert gate(ledger, metrics=["mrr"]).status == "regressed"
+        # ...a widened override waves it through
+        report = gate(ledger, metrics=["mrr"], rel_threshold=0.5)
+        assert report.status == "ok"
+        assert [v.metric for v in report.verdicts] == ["mrr"]
+
+    def test_report_json_round_trip(self, tmp_path):
+        ledger = seed_ledger(tmp_path / "ledger.jsonl", seed=4)
+        report = gate(ledger, inject_factor=2.0)
+        data = json.loads(report.to_json())
+        assert data["status"] == "regressed"
+        assert data["exit_code"] == 1
+        assert data["inject_factor"] == 2.0
+        statuses = {m["metric"]: m["status"] for m in data["metrics"]}
+        assert statuses["steps_per_second"] == "regressed"
+
+
+class TestGateCLI:
+    def test_cli_ok_then_injected_failure(self, tmp_path, monkeypatch,
+                                          capsys):
+        path = tmp_path / "ledger.jsonl"
+        seed_ledger(path, seed=5)
+        assert cli.main(["obs-gate", "--ledger", str(path)]) == 0
+        assert "verdict: OK" in capsys.readouterr().out
+        monkeypatch.setenv("REPRO_GATE_INJECT_FACTOR", "2.0")
+        assert cli.main(["obs-gate", "--ledger", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "test hook" in out
+
+    def test_cli_json_output(self, tmp_path, capsys):
+        path = tmp_path / "ledger.jsonl"
+        seed_ledger(path, seed=6)
+        assert cli.main(["obs-gate", "--ledger", str(path), "--json",
+                         "--metric", "hits_at_1"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert [m["metric"] for m in data["metrics"]] == ["hits_at_1"]
+
+    def test_cli_empty_ledger_exits_2(self, tmp_path, capsys):
+        missing = str(tmp_path / "none.jsonl")
+        assert cli.main(["obs-gate", "--ledger", missing]) == 2
+        assert "no runs" in capsys.readouterr().out

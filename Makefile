@@ -1,4 +1,4 @@
-.PHONY: install test test-fast verify bench serve-bench train-bench train-bench-smoke obs-smoke perf-gate perf-gate-smoke examples all
+.PHONY: install test test-fast verify bench serve-bench train-bench train-bench-smoke obs-smoke perf-gate perf-gate-smoke faults-smoke examples all
 
 install:
 	pip install -e . --no-build-isolation
@@ -43,6 +43,11 @@ perf-gate:
 # assert the gate passes on jitter and fails on an injected 2x slowdown
 perf-gate-smoke:
 	PYTHONPATH=src python -m pytest -q tests/test_obs_gate_smoke.py
+
+# crash-replay suite: injected kills/torn writes at every persistence
+# site, then resume, asserting bit-identical training (docs/robustness.md)
+faults-smoke:
+	PYTHONPATH=src python -m pytest -q tests/test_faults.py tests/test_crash_replay.py
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f; done

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -21,8 +22,15 @@ from ..alignment import csls as csls_rescale
 from ..alignment import infer_alignment, rank_metrics, similarity_matrix
 from ..alignment.evaluate import RankMetrics
 from ..autodiff.sparse import SparseGrad
+from ..faults import fault_point
 from ..kg import AlignmentSplit, EntityIndex, KGPair
 from ..obs import get_registry, peak_rss_bytes, span, tracing_enabled
+from ..obs.ledger import record_run
+from .checkpointing import (
+    CheckpointSignalHandler,
+    TrainingCheckpointer,
+    restore_log_fields,
+)
 
 __all__ = [
     "ApproachConfig",
@@ -99,6 +107,12 @@ class TrainingLog:
     # (bench_fig8_running_time) read these instead of re-timing.
     epoch_seconds: list[float] = field(default_factory=list)
     peak_rss_bytes: int = 0
+    # Crash-safety bookkeeping (docs/robustness.md): "completed" when the
+    # run reached its natural end, "interrupted" when a signal stopped it
+    # at an epoch boundary after a checkpoint, "resumed" when it picked up
+    # from a checkpoint and then completed.
+    status: str = "completed"
+    resumed_from_epoch: int = 0
 
     @property
     def steps_per_second(self) -> float:
@@ -244,14 +258,43 @@ class EmbeddingApproach:
     # ------------------------------------------------------------------
     # training
     # ------------------------------------------------------------------
-    def fit(self, pair: KGPair, split: AlignmentSplit) -> TrainingLog:
-        """Train on ``split.train``, early-stopping on ``split.valid``."""
+    def fit(
+        self,
+        pair: KGPair,
+        split: AlignmentSplit,
+        *,
+        checkpoint_dir: Path | str | None = None,
+        checkpoint_every: int = 1,
+        resume_from: Path | str | bool | None = None,
+    ) -> TrainingLog:
+        """Train on ``split.train``, early-stopping on ``split.valid``.
+
+        Crash safety (docs/robustness.md): with ``checkpoint_dir`` set,
+        a resumable checkpoint (parameters, optimizer state, RNG state,
+        log, early-stopping bookkeeping) is written atomically every
+        ``checkpoint_every`` epochs, and SIGTERM/SIGINT trigger one at
+        the next epoch boundary before training stops with
+        ``log.status == "interrupted"``.  ``resume_from`` (a checkpoint
+        directory, or ``True`` for ``checkpoint_dir`` itself) restores
+        that state and continues; a resumed run is *exactly* equivalent
+        to one that never stopped — same RNG stream, same final
+        embeddings.  Resuming from a directory without a completed
+        checkpoint silently starts fresh, so kill-at-any-point retry
+        loops need no special casing.
+        """
         config = self.config
         rng = np.random.default_rng(config.seed)
         self.pair = pair
         self.split = split
         self.log = TrainingLog()
         started = time.perf_counter()
+        if resume_from is True:
+            resume_from = checkpoint_dir
+        elif resume_from is False:
+            resume_from = None
+        checkpointer = (TrainingCheckpointer(checkpoint_dir)
+                        if checkpoint_dir is not None else None)
+        interrupted = False
         with span("fit", approach=self.info.name, dataset=pair.name):
             with span("setup"):
                 self._setup(pair, split, rng)
@@ -260,42 +303,116 @@ class EmbeddingApproach:
             best_state: list[np.ndarray] | None = None
             best_epoch = 0
             bad_checks = 0
-            if split.valid and config.valid_every:
+            start_epoch = 1
+            restored = None
+            if resume_from is not None:
+                restored = TrainingCheckpointer(resume_from).try_restore(
+                    self._parameters(),
+                    optimizer=getattr(self, "optimizer", None),
+                    rng=rng,
+                )
+            if restored is not None:
+                best_hits = restored["best_hits"]
+                best_epoch = restored["best_epoch"]
+                bad_checks = restored["bad_checks"]
+                best_state = restored["best_state"]
+                start_epoch = restored["epoch"] + 1
+                restore_log_fields(self.log, restored.get("log"))
+                self._load_extra_state(restored.get("extra") or {})
+                self.log.resumed_from_epoch = restored["epoch"]
+            elif split.valid and config.valid_every:
                 # epoch-0 snapshot: approaches with informative initialization
                 # (literal features) must never end below their starting point
                 with span("validate", epoch=0):
                     best_hits = self.evaluate(split.valid, hits_at=(1,)).hits_at(1)
                 best_state = [p.data.copy() for p in self._parameters()]
-            for epoch in range(1, config.epochs + 1):
-                epoch_started = time.perf_counter()
-                with span("epoch", epoch=epoch) as epoch_span:
-                    loss = self._run_epoch(epoch, rng)
-                    epoch_span.set(loss=loss)
-                self.log.epoch_seconds.append(time.perf_counter() - epoch_started)
-                self.log.losses.append(loss)
-                self.log.epochs_run = epoch
-                if tracing_enabled():
-                    self._record_epoch_gauges(loss)
-                if split.valid and config.valid_every and epoch % config.valid_every == 0:
-                    with span("validate", epoch=epoch):
-                        hits1 = self.evaluate(split.valid, hits_at=(1,)).hits_at(1)
-                    self.log.valid_history.append((epoch, hits1))
-                    if hits1 >= best_hits:
-                        best_hits = hits1
-                        best_epoch = epoch
-                        best_state = [p.data.copy() for p in self._parameters()]
-                        bad_checks = 0
-                    else:
-                        bad_checks += 1
-                        if config.early_stop and bad_checks >= config.patience:
-                            break
-            if best_state is not None:
+            with CheckpointSignalHandler(enabled=checkpointer is not None) \
+                    as signals:
+                for epoch in range(start_epoch, config.epochs + 1):
+                    epoch_started = time.perf_counter()
+                    with span("epoch", epoch=epoch) as epoch_span:
+                        loss = self._run_epoch(epoch, rng)
+                        epoch_span.set(loss=loss)
+                    self.log.epoch_seconds.append(time.perf_counter() - epoch_started)
+                    self.log.losses.append(loss)
+                    self.log.epochs_run = epoch
+                    if tracing_enabled():
+                        self._record_epoch_gauges(loss)
+                    stop = False
+                    if split.valid and config.valid_every and epoch % config.valid_every == 0:
+                        with span("validate", epoch=epoch):
+                            hits1 = self.evaluate(split.valid, hits_at=(1,)).hits_at(1)
+                        self.log.valid_history.append((epoch, hits1))
+                        if hits1 >= best_hits:
+                            best_hits = hits1
+                            best_epoch = epoch
+                            best_state = [p.data.copy() for p in self._parameters()]
+                            bad_checks = 0
+                        else:
+                            bad_checks += 1
+                            if config.early_stop and bad_checks >= config.patience:
+                                stop = True
+                    # the safe epoch boundary: batches done, model
+                    # normalized, validation recorded
+                    fault_point("epoch.end")
+                    if checkpointer is not None and not stop and (
+                        signals.requested
+                        or (checkpoint_every > 0
+                            and epoch % checkpoint_every == 0)
+                        or epoch == config.epochs
+                    ):
+                        with span("checkpoint", epoch=epoch):
+                            checkpointer.save(
+                                epoch=epoch,
+                                parameters=self._parameters(),
+                                optimizer=getattr(self, "optimizer", None),
+                                rng=rng,
+                                log=self.log,
+                                best_state=best_state,
+                                best_hits=best_hits,
+                                best_epoch=best_epoch,
+                                bad_checks=bad_checks,
+                                approach=self.info.name,
+                                extra=self._extra_state(),
+                            )
+                    if signals.requested:
+                        interrupted = True
+                        break
+                    if stop:
+                        break
+            if best_state is not None and not interrupted:
                 for parameter, saved in zip(self._parameters(), best_state):
                     parameter.data[...] = saved
         self.log.best_epoch = best_epoch or self.log.epochs_run
         self.log.train_seconds = time.perf_counter() - started
         self.log.peak_rss_bytes = peak_rss_bytes()
+        if interrupted:
+            self.log.status = "interrupted"
+        elif restored is not None:
+            self.log.status = "resumed"
+        if checkpointer is not None:
+            # no-op unless REPRO_LEDGER_PATH is set (docs/observability.md)
+            record_run(
+                "train", f"fit/{self.info.name}/{pair.name}",
+                config={"approach": self.info.name, "dataset": pair.name,
+                        "seed": config.seed, "epochs": config.epochs,
+                        "dim": config.dim, "status": self.log.status},
+                scalars={"epochs_run": self.log.epochs_run,
+                         "train_seconds": self.log.train_seconds,
+                         "steps_per_second": self.log.steps_per_second,
+                         "resumed_from_epoch": self.log.resumed_from_epoch},
+            )
         return self.log
+
+    # -- approach-specific resumable state -----------------------------
+    def _extra_state(self) -> dict:
+        """JSON-serializable state beyond parameters/optimizer/RNG that a
+        resumed run needs (semi-supervised augmentation, samplers …).
+        Default: none."""
+        return {}
+
+    def _load_extra_state(self, state: dict) -> None:
+        """Restore what :meth:`_extra_state` captured; default no-op."""
 
     def _record_epoch_gauges(self, loss: float) -> None:
         """Export loss / last-batch grad norm / touched rows as gauges.

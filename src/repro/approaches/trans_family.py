@@ -320,6 +320,17 @@ class UnifiedTransApproach(EmbeddingApproach):
     def _after_epoch(self, epoch, rng):
         """Semi-supervised hook; default no-op."""
 
+    # -- crash-safe resume (docs/robustness.md) ------------------------
+    def _extra_state(self):
+        return {"augmented": [[int(a), int(b)]
+                              for a, b in self.augmented.items()]}
+
+    def _load_extra_state(self, state):
+        self.augmented = {int(a): int(b)
+                          for a, b in state.get("augmented", [])}
+        if self.swapping:
+            self._swapped = self._make_swapped()
+
     # -- embeddings ----------------------------------------------------
     def _source_matrix(self, entities):
         return self.model.entity_embeddings()[self.data.entity_ids(entities)]
@@ -398,6 +409,15 @@ class IPTransE(UnifiedTransApproach):
         super()._setup(pair, split, rng)
         self._paths = self._mine_paths()
         self._proposed: list[tuple[str, str]] = []
+
+    def _extra_state(self):
+        state = super()._extra_state()
+        state["proposed"] = [[a, b] for a, b in self._proposed]
+        return state
+
+    def _load_extra_state(self, state):
+        super()._load_extra_state(state)
+        self._proposed = [(a, b) for a, b in state.get("proposed", [])]
 
     def _mine_paths(self, limit: int = 5000) -> np.ndarray:
         """(r1, r2, r3) ids where a 2-hop path co-exists with a direct edge."""
@@ -482,14 +502,35 @@ class BootEA(UnifiedTransApproach):
             self.data.n_entities, truncation=self.truncation
         )
         self._proposed_names: dict[str, str] = {}
+        self._sampler_refreshed = False
 
     def _negatives(self, batch, rng):
         return self.sampler.corrupt(batch, self.config.n_negatives, rng)
+
+    def _extra_state(self):
+        state = super()._extra_state()
+        state["proposed_names"] = [[a, b]
+                                   for a, b in self._proposed_names.items()]
+        state["sampler_refreshed"] = self._sampler_refreshed
+        return state
+
+    def _load_extra_state(self, state):
+        super()._load_extra_state(state)
+        self._proposed_names = {a: b
+                                for a, b in state.get("proposed_names", [])}
+        # Best-effort: the truncated sampler's neighbor cache is rebuilt
+        # from the restored embeddings (the uninterrupted run built it
+        # from slightly older ones), so BootEA resumes are equivalent in
+        # expectation, not bit-for-bit — see docs/robustness.md.
+        if state.get("sampler_refreshed"):
+            self.sampler.refresh(self.model.entity_embeddings())
+            self._sampler_refreshed = True
 
     def _after_epoch(self, epoch, rng):
         if epoch % self.bootstrap_every != 0:
             return
         self.sampler.refresh(self.model.entity_embeddings())
+        self._sampler_refreshed = True
         if not self.bootstrap:
             return
         proposals = self._propose_pairs(self.bootstrap_threshold, mutual=True)

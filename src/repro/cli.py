@@ -54,6 +54,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     validate.add_argument("directory", type=Path)
 
+    train = commands.add_parser(
+        "train",
+        help="train one approach crash-safely (checkpoint + resume)",
+    )
+    train.add_argument("--family", choices=sorted(FAMILIES), default="EN-FR")
+    train.add_argument("--size", type=int, default=150)
+    train.add_argument("--method", choices=["ids", "ras", "prs", "direct"],
+                       default="direct")
+    train.add_argument("--approach", default="MTransE")
+    train.add_argument("--dim", type=int, default=16)
+    train.add_argument("--epochs", type=int, default=8)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--valid-every", type=int, default=0)
+    train.add_argument("--checkpoint-dir", type=Path, default=None,
+                       help="checkpoint directory (enables crash safety)")
+    train.add_argument("--checkpoint-every", type=int, default=1,
+                       help="checkpoint every N epochs (default 1)")
+    train.add_argument("--resume", action="store_true",
+                       help="resume from --checkpoint-dir if a "
+                            "checkpoint exists")
+
     build = commands.add_parser(
         "serve-build",
         help="train (or import) embeddings and persist a store version",
@@ -75,6 +96,9 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--seed", type=int, default=0)
     build.add_argument("--note", default="",
                        help="free-text note recorded in the manifest")
+    build.add_argument("--save-index", choices=["ivf"], default=None,
+                       help="also build and persist an ANN index for "
+                            "the new version")
 
     query = commands.add_parser(
         "serve-query", help="answer alignment queries from a store version"
@@ -82,8 +106,13 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--store", type=Path, required=True)
     query.add_argument("--store-version", default=None,
                        help="version id (default: latest)")
-    query.add_argument("--index", choices=["exact", "lsh", "ivf"],
-                       default="exact")
+    query.add_argument("--index", choices=["exact", "lsh", "ivf", "saved"],
+                       default="exact",
+                       help="'saved' loads the version's persisted index, "
+                            "degrading to exact search if it is corrupt")
+    query.add_argument("--no-verify", action="store_true",
+                       help="with --index saved: skip the store checksum "
+                            "verification at load")
     query.add_argument("--k", type=int, default=5)
     query.add_argument("--entity", action="append", default=[],
                        help="source entity to align (repeatable)")
@@ -211,6 +240,49 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_train(args: argparse.Namespace) -> int:
+    """Crash-safe single-fold training.
+
+    Prints a sha256 over the final parameter matrices so the
+    crash-replay suite can compare a killed-and-resumed run against an
+    uninterrupted one bit for bit.  Exit code 3 means "interrupted at a
+    checkpoint; rerun with --resume to continue".
+    """
+    import hashlib
+
+    import numpy as np
+
+    from .approaches import ApproachConfig, get_approach
+
+    pair = benchmark_pair(args.family, size=args.size, method=args.method,
+                          seed=args.seed)
+    split = pair.five_fold_splits(seed=args.seed)[0]
+    approach = get_approach(
+        args.approach,
+        ApproachConfig(dim=args.dim, epochs=args.epochs, seed=args.seed,
+                       valid_every=args.valid_every),
+    )
+    log = approach.fit(
+        pair, split,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        resume_from=args.resume,
+    )
+    digest = hashlib.sha256()
+    for parameter in approach._parameters():
+        digest.update(np.ascontiguousarray(parameter.data).tobytes())
+    print(f"status={log.status} epochs={log.epochs_run} "
+          f"resumed_from={log.resumed_from_epoch}")
+    print(f"params_sha256={digest.hexdigest()}")
+    if log.status == "interrupted":
+        print(f"interrupted; resume with --resume --checkpoint-dir "
+              f"{args.checkpoint_dir}")
+        return 3
+    metrics = approach.evaluate(split.test)
+    print(f"hits@1={metrics.hits_at(1):.6f} mrr={metrics.mrr:.6f}")
+    return 0
+
+
 def _cmd_serve_build(args: argparse.Namespace) -> int:
     from .pipeline.checkpoint import EmbeddingSnapshot, load_snapshot
     from .serve import EmbeddingStore
@@ -246,28 +318,49 @@ def _cmd_serve_build(args: argparse.Namespace) -> int:
           f"{len(snapshot.sources)} sources x {len(snapshot.targets)} "
           f"targets, dim {snapshot.source_matrix.shape[1]} "
           f"({snapshot.name})")
+    if args.save_index:
+        import numpy as np
+
+        from .serve import make_index
+
+        index = make_index(args.save_index, seed=args.seed)
+        index.build(np.asarray(snapshot.target_matrix))
+        path = store.save_index(index, version)
+        print(f"persisted {args.save_index} index at {path}")
     return 0
 
 
 def _cmd_serve_query(args: argparse.Namespace) -> int:
     import numpy as np
 
-    from .serve import EmbeddingStore, QueryEngine, recall_vs_exact
+    from .serve import EmbeddingStore, QueryEngine, StoreCorruption, \
+        recall_vs_exact
 
     if not args.store.is_dir():
         print(f"error: {args.store} is not a directory", file=sys.stderr)
         return 2
     store = EmbeddingStore(args.store)
     try:
-        stored = store.load(version=args.store_version)
+        if args.index == "saved":
+            engine = QueryEngine.from_store(
+                store, version=args.store_version,
+                verify=not args.no_verify, k=args.k,
+                batch_size=args.batch_size, cache_size=args.cache_size,
+            )
+            stored = engine.stored
+        else:
+            stored = store.load(version=args.store_version)
+            engine = QueryEngine(stored, index=args.index, k=args.k,
+                                 batch_size=args.batch_size,
+                                 cache_size=args.cache_size)
+    except StoreCorruption as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     except (FileNotFoundError, KeyError) as error:
         # KeyError's str() wraps the message in repr quotes
         message = error.args[0] if error.args else error
         print(f"error: {message}", file=sys.stderr)
         return 2
-    engine = QueryEngine(stored, index=args.index, k=args.k,
-                         batch_size=args.batch_size,
-                         cache_size=args.cache_size)
     entities = list(args.entity)
     unknown = [e for e in entities if e not in stored.sources]
     if unknown:
@@ -284,7 +377,9 @@ def _cmd_serve_query(args: argparse.Namespace) -> int:
         print("error: nothing to query (use --entity and/or --sample)",
               file=sys.stderr)
         return 2
-    print(f"serving {stored.version} ({stored.name}) via {args.index} index")
+    kind = engine.index.kind if args.index == "saved" else args.index
+    print(f"serving {stored.version} ({stored.name}) via {kind} index"
+          + (" [DEGRADED to exact]" if engine.degraded else ""))
     for result in engine.query_batch(entities):
         ranked = ", ".join(f"{name}:{score:.3f}"
                            for name, score in result.neighbors[:args.k])
@@ -310,7 +405,7 @@ def _cmd_serve_query(args: argparse.Namespace) -> int:
                 "cache_size": args.cache_size},
         scalars={key: summary[key]
                  for key in ("qps", "p50_ms", "p95_ms", "p99_ms",
-                             "cache_hit_rate")},
+                             "cache_hit_rate", "degraded")},
         registry=engine.metrics.registry,
     )
     return 0
@@ -522,6 +617,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_stats(args)
     if args.command == "validate":
         return _cmd_validate(args)
+    if args.command == "train":
+        return _cmd_train(args)
     if args.command == "serve-build":
         return _cmd_serve_build(args)
     if args.command == "serve-query":

@@ -1,0 +1,107 @@
+"""Crash-safe file writing: tmp + fsync + ``os.replace``.
+
+Every on-disk artifact this project produces (datasets, checkpoints,
+snapshots, manifests, CSV exports) goes through :func:`atomic_write`:
+the payload is written to a ``*.tmp`` sibling, flushed and fsynced,
+then promoted with :func:`os.replace` — so a reader can only ever see
+the old complete file or the new complete file, never a torn one.  A
+crash leaves at worst a stale ``*.tmp`` sibling, which writers ignore
+and overwrite.
+
+Each writer names a fault site (see :mod:`repro.faults.inject`): the
+site fires with ``stage="pre"`` on the tmp file just before promotion
+(crash simulation — ``raise`` / ``kill`` / ``partial``) and with
+``stage="post"`` on the final artifact (``corrupt`` simulation), which
+is how the crash-replay suite proves the atomicity actually holds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Callable
+
+from .inject import fault_point
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_write_json",
+    "atomic_write_lines",
+    "atomic_write_with",
+    "sha256_file",
+]
+
+
+def _promote(tmp: Path, path: Path, site: str | None) -> None:
+    """Fsync and promote a fully-written tmp file to its final name."""
+    if site is not None:
+        fault_point(site, path=tmp, stage="pre")
+    os.replace(tmp, path)
+    if site is not None:
+        fault_point(site, path=path, stage="post")
+
+
+def _fsync_handle(handle) -> None:
+    handle.flush()
+    try:
+        os.fsync(handle.fileno())
+    except OSError:  # e.g. filesystems without fsync; best effort
+        pass
+
+
+def atomic_write_bytes(path: Path | str, payload: bytes,
+                       site: str | None = None) -> Path:
+    """Atomically write ``payload`` to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(payload)
+        _fsync_handle(handle)
+    _promote(tmp, path, site)
+    return path
+
+
+def atomic_write_text(path: Path | str, text: str,
+                      site: str | None = None) -> Path:
+    return atomic_write_bytes(path, text.encode("utf-8"), site=site)
+
+
+def atomic_write_json(path: Path | str, payload,
+                      site: str | None = None, indent: int | None = 2) -> Path:
+    text = json.dumps(payload, indent=indent, sort_keys=True, default=str)
+    return atomic_write_text(path, text + "\n", site=site)
+
+
+def atomic_write_lines(path: Path | str, lines,
+                       site: str | None = None) -> Path:
+    """Atomically write an iterable of (unterminated) text lines."""
+    return atomic_write_text(path, "".join(line + "\n" for line in lines),
+                             site=site)
+
+
+def atomic_write_with(path: Path | str, writer: Callable,
+                      site: str | None = None, mode: str = "wb") -> Path:
+    """Atomically write via ``writer(handle)`` — for payloads that are
+    produced by a streaming API (``np.savez``, ``csv.writer`` …)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    kwargs = {} if "b" in mode else {"newline": "", "encoding": "utf-8"}
+    with open(tmp, mode, **kwargs) as handle:
+        writer(handle)
+        _fsync_handle(handle)
+    _promote(tmp, path, site)
+    return path
+
+
+def sha256_file(path: Path | str) -> str:
+    """Streaming sha256 of a file (hex digest)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()

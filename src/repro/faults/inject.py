@@ -1,0 +1,332 @@
+"""Deterministic fault injection for crash-safety testing.
+
+Production code is sprinkled with *fault points* — named sites at the
+exact places where a crash, torn write or bit flip would hurt::
+
+    from ..faults import fault_point
+    ...
+    fault_point("checkpoint.write", path=tmp_path)
+
+With nothing configured a fault point is a single module-global ``is
+None`` check, so the hot paths pay (almost) nothing.  A *fault plan*
+arms some sites with seeded schedules and failure modes; plans come
+from the ``REPRO_FAULTS`` environment variable (so a whole subprocess
+run can be made to die at epoch 3) or from the :func:`inject` context
+manager (for in-process tests)::
+
+    REPRO_FAULTS="epoch.end:nth=3:mode=kill"
+    REPRO_FAULTS="checkpoint.write:nth=1:mode=partial;io.read:p=0.5:seed=7"
+
+Grammar: rules separated by ``;``, fields by ``:``; the first field is
+the site name, the rest are ``key=value`` pairs:
+
+``mode``
+    ``raise`` (default) — raise :class:`InjectedFault`;
+    ``kill`` — ``os._exit(137)``, the honest SIGKILL simulation;
+    ``partial`` — leave a torn half-written artifact, then raise;
+    ``corrupt`` — flip bytes in the finished artifact and *continue*
+    (the silent-corruption scenario checksums must catch).
+``nth``
+    fire on the N-th hit of the site (1-based, default 1).
+``p`` / ``seed``
+    instead of ``nth``: fire independently with probability ``p``
+    using a dedicated seeded generator.
+``times``
+    how many times the rule may fire in total (default 1 for ``nth``
+    rules, unlimited for probabilistic ones).
+
+Sites that write through :mod:`repro.faults.atomic` call their fault
+point twice — ``stage="pre"`` just before the tmp file is promoted and
+``stage="post"`` on the final artifact — so crash-style modes tear the
+tmp file while ``corrupt`` hits the real one.  Rules default to the
+stage their mode needs.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from dataclasses import dataclass, field
+
+__all__ = [
+    "InjectedFault",
+    "FaultRule",
+    "FaultPlan",
+    "parse_plan",
+    "fault_point",
+    "install",
+    "reset",
+    "active_plan",
+    "is_active",
+    "inject",
+]
+
+ENV_VAR = "REPRO_FAULTS"
+
+MODES = ("raise", "kill", "partial", "corrupt")
+
+# Exit code used by mode=kill; 137 == 128 + SIGKILL, what an OOM-killed
+# or `kill -9`-ed training process reports.
+KILL_EXIT_CODE = 137
+
+
+class InjectedFault(RuntimeError):
+    """Raised by an armed fault point (modes ``raise`` and ``partial``)."""
+
+    def __init__(self, site: str, mode: str = "raise"):
+        super().__init__(f"injected fault at {site!r} (mode={mode})")
+        self.site = site
+        self.mode = mode
+
+
+@dataclass
+class FaultRule:
+    """One armed site: when to fire and what failure to produce."""
+
+    site: str
+    mode: str = "raise"
+    nth: int | None = None
+    p: float | None = None
+    seed: int = 0
+    times: int | None = None
+    stage: str | None = None  # "pre" / "post" / None (mode default)
+
+    hits: int = field(default=0, compare=False)
+    fired: int = field(default=0, compare=False)
+
+    def __post_init__(self):
+        if self.mode not in MODES:
+            raise ValueError(f"unknown fault mode {self.mode!r}; "
+                             f"choose from {MODES}")
+        if self.nth is not None and self.p is not None:
+            raise ValueError("a rule takes nth= or p=, not both")
+        if self.nth is None and self.p is None:
+            self.nth = 1
+        if self.nth is not None and self.nth < 1:
+            raise ValueError("nth is 1-based and must be >= 1")
+        if self.p is not None and not 0.0 <= self.p <= 1.0:
+            raise ValueError("p must be in [0, 1]")
+        if self.times is None and self.nth is not None:
+            self.times = 1
+        if self.stage is None:
+            # corrupt must act on the finished artifact; crash-style
+            # modes must act before it exists
+            self.stage = "post" if self.mode == "corrupt" else "pre"
+        self._rng = None
+
+    def matches_stage(self, stage: str | None) -> bool:
+        """Stageless call sites accept any rule; staged sites (the
+        atomic writer) only trigger rules armed for that stage."""
+        return stage is None or stage == self.stage
+
+    def should_fire(self) -> bool:
+        """Count one hit and decide (deterministically) whether to fire."""
+        if self.times is not None and self.fired >= self.times:
+            return False
+        self.hits += 1
+        if self.p is not None:
+            if self._rng is None:
+                import numpy as np
+
+                self._rng = np.random.default_rng(self.seed)
+            fire = bool(self._rng.random() < self.p)
+        else:
+            fire = self.hits == self.nth
+        if fire:
+            self.fired += 1
+        return fire
+
+
+class FaultPlan:
+    """A set of :class:`FaultRule` indexed by site name."""
+
+    def __init__(self, rules: list[FaultRule] | None = None):
+        self._rules: dict[str, list[FaultRule]] = {}
+        self.log: list[tuple[str, str]] = []  # (site, mode) of every firing
+        for rule in rules or []:
+            self.add(rule)
+
+    def add(self, rule: FaultRule) -> "FaultPlan":
+        self._rules.setdefault(rule.site, []).append(rule)
+        return self
+
+    def rules_for(self, site: str) -> list[FaultRule]:
+        return self._rules.get(site, [])
+
+    @property
+    def sites(self) -> list[str]:
+        return sorted(self._rules)
+
+    def hits(self, site: str) -> int:
+        return sum(rule.hits for rule in self.rules_for(site))
+
+
+def parse_plan(spec: str) -> FaultPlan:
+    """Parse the ``REPRO_FAULTS`` grammar into a :class:`FaultPlan`."""
+    plan = FaultPlan()
+    for chunk in spec.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        fields = chunk.split(":")
+        site = fields[0].strip()
+        if not site:
+            raise ValueError(f"fault rule {chunk!r} has no site name")
+        kwargs: dict = {}
+        for pair in fields[1:]:
+            key, sep, value = pair.partition("=")
+            if not sep:
+                raise ValueError(
+                    f"fault rule field {pair!r} is not key=value (in {chunk!r})"
+                )
+            key = key.strip()
+            value = value.strip()
+            if key in ("nth", "seed", "times"):
+                kwargs[key] = int(value)
+            elif key == "p":
+                kwargs[key] = float(value)
+            elif key in ("mode", "stage"):
+                kwargs[key] = value
+            else:
+                raise ValueError(f"unknown fault rule key {key!r} (in {chunk!r})")
+        plan.add(FaultRule(site=site, **kwargs))
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# the active plan
+# ---------------------------------------------------------------------------
+_PLAN: FaultPlan | None = None
+_LOCK = threading.Lock()
+
+
+def _plan_from_env() -> FaultPlan | None:
+    spec = os.environ.get(ENV_VAR, "").strip()
+    return parse_plan(spec) if spec else None
+
+
+def install(plan: FaultPlan | str | None) -> FaultPlan | None:
+    """Install ``plan`` (or a spec string) process-wide; returns it."""
+    global _PLAN
+    if isinstance(plan, str):
+        plan = parse_plan(plan)
+    _PLAN = plan
+    return plan
+
+
+def reset() -> None:
+    """Disarm every fault point (and ignore ``REPRO_FAULTS``)."""
+    install(None)
+
+
+def active_plan() -> FaultPlan | None:
+    return _PLAN
+
+
+def is_active() -> bool:
+    return _PLAN is not None
+
+
+class inject:
+    """``with faults.inject("epoch.end:nth=2"):`` — a scoped plan.
+
+    Restores the previously installed plan (usually none) on exit and
+    exposes the plan as the ``as`` target for hit/firing assertions.
+    """
+
+    def __init__(self, plan: FaultPlan | str):
+        self.plan = parse_plan(plan) if isinstance(plan, str) else plan
+        self._previous: FaultPlan | None = None
+
+    def __enter__(self) -> FaultPlan:
+        global _PLAN
+        self._previous = _PLAN
+        _PLAN = self.plan
+        return self.plan
+
+    def __exit__(self, *exc):
+        global _PLAN
+        _PLAN = self._previous
+        return False
+
+
+# ---------------------------------------------------------------------------
+# firing
+# ---------------------------------------------------------------------------
+def fault_point(site: str, *, path=None, data=None, stage: str | None = None) -> None:
+    """Declare a named fault site.  No-op unless a plan arms ``site``.
+
+    ``path`` names the artifact the site is about to produce (or just
+    produced, for ``stage="post"``); ``data`` is the payload an append-
+    style writer is about to write.  Both are only consulted by the
+    ``partial`` and ``corrupt`` modes.
+    """
+    plan = _PLAN
+    if plan is None:
+        return
+    rules = plan.rules_for(site)
+    if not rules:
+        return
+    with _LOCK:
+        for rule in rules:
+            if not rule.matches_stage(stage):
+                continue
+            if not rule.should_fire():
+                continue
+            plan.log.append((site, rule.mode))
+            _fire(rule, site, path, data)
+
+
+def _fire(rule: FaultRule, site: str, path, data) -> None:
+    if rule.mode == "kill":
+        sys.stdout.flush()
+        sys.stderr.flush()
+        os._exit(KILL_EXIT_CODE)
+    if rule.mode == "partial":
+        _tear(path, data)
+        raise InjectedFault(site, "partial")
+    if rule.mode == "corrupt":
+        _flip_bytes(path, seed=rule.seed)
+        return  # silent corruption: execution continues
+    raise InjectedFault(site, "raise")
+
+
+def _tear(path, data) -> None:
+    """Leave a half-written artifact behind, like a crash mid-``write``."""
+    if path is None:
+        return
+    path = os.fspath(path)
+    if data is not None:
+        payload = data.encode("utf-8") if isinstance(data, str) else bytes(data)
+        with open(path, "ab") as handle:
+            handle.write(payload[: max(1, len(payload) // 2)])
+    elif os.path.exists(path):
+        size = os.path.getsize(path)
+        with open(path, "ab") as handle:
+            handle.truncate(max(0, size // 2))
+
+
+def _flip_bytes(path, seed: int = 0, n_flips: int = 4) -> None:
+    """Deterministically flip a few bytes of ``path`` (if it exists)."""
+    if path is None or not os.path.exists(path):
+        return
+    import numpy as np
+
+    path = os.fspath(path)
+    size = os.path.getsize(path)
+    if size == 0:
+        return
+    rng = np.random.default_rng(seed)
+    offsets = rng.integers(0, size, size=min(n_flips, size))
+    with open(path, "r+b") as handle:
+        for offset in offsets:
+            handle.seek(int(offset))
+            byte = handle.read(1)
+            handle.seek(int(offset))
+            handle.write(bytes([byte[0] ^ 0xFF]))
+
+
+# Arm from the environment at import time so `REPRO_FAULTS=... python -m
+# repro.cli train ...` works with no code changes in the child process.
+_PLAN = _plan_from_env()

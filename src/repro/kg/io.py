@@ -13,8 +13,10 @@ interchangeable with the published ones.
 
 from __future__ import annotations
 
+import warnings
 from pathlib import Path
 
+from ..faults import atomic_write_lines, fault_point
 from .graph import KnowledgeGraph
 from .pair import AlignmentSplit, KGPair
 
@@ -29,53 +31,77 @@ __all__ = [
     "load_splits",
 ]
 
+# The files the OpenEA directory layout requires (docs/datasets.md).
+PAIR_FILES = (
+    "rel_triples_1", "rel_triples_2",
+    "attr_triples_1", "attr_triples_2",
+    "ent_links",
+)
 
-def read_triples(path: Path | str) -> list[tuple[str, str, str]]:
-    """Read tab-separated triples; blank lines are skipped."""
-    triples: list[tuple[str, str, str]] = []
+
+def _read_rows(path: Path | str, n_fields: int,
+               max_bad_lines: int = 0) -> list[tuple]:
+    """Shared tab-separated reader.
+
+    Malformed lines raise a line-numbered :class:`ValueError` by
+    default; with ``max_bad_lines > 0`` up to that many are skipped
+    with a warning instead — the forgiving mode for datasets damaged by
+    an interrupted export.
+    """
+    fault_point("io.read", path=path)
+    rows: list[tuple] = []
+    bad = 0
     with open(path, encoding="utf-8") as handle:
         for line_no, line in enumerate(handle, start=1):
             line = line.rstrip("\n")
             if not line:
                 continue
             parts = line.split("\t")
-            if len(parts) != 3:
-                raise ValueError(f"{path}:{line_no}: expected 3 fields, got {len(parts)}")
-            triples.append((parts[0], parts[1], parts[2]))
-    return triples
+            if len(parts) != n_fields:
+                message = (f"{path}:{line_no}: expected {n_fields} fields, "
+                           f"got {len(parts)}")
+                bad += 1
+                if bad <= max_bad_lines:
+                    warnings.warn(f"{message} (line skipped)", stacklevel=3)
+                    continue
+                if max_bad_lines:
+                    message += f" (> max_bad_lines={max_bad_lines} skipped)"
+                raise ValueError(message)
+            rows.append(tuple(parts))
+    return rows
+
+
+def read_triples(path: Path | str,
+                 max_bad_lines: int = 0) -> list[tuple[str, str, str]]:
+    """Read tab-separated triples; blank lines are skipped.
+
+    ``max_bad_lines`` allows skipping up to that many malformed lines
+    (each reported with its line number) instead of aborting the load.
+    """
+    return _read_rows(path, 3, max_bad_lines)
 
 
 def write_triples(path: Path | str, triples: list[tuple[str, str, str]]) -> None:
-    """Write tab-separated triples, creating parent directories."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as handle:
-        for head, relation, tail in triples:
-            handle.write(f"{head}\t{relation}\t{tail}\n")
+    """Atomically write tab-separated triples, creating parent dirs."""
+    atomic_write_lines(
+        path,
+        (f"{head}\t{relation}\t{tail}" for head, relation, tail in triples),
+        site="io.write",
+    )
 
 
-def read_links(path: Path | str) -> list[tuple[str, str]]:
-    """Read tab-separated entity alignment links."""
-    links: list[tuple[str, str]] = []
-    with open(path, encoding="utf-8") as handle:
-        for line_no, line in enumerate(handle, start=1):
-            line = line.rstrip("\n")
-            if not line:
-                continue
-            parts = line.split("\t")
-            if len(parts) != 2:
-                raise ValueError(f"{path}:{line_no}: expected 2 fields, got {len(parts)}")
-            links.append((parts[0], parts[1]))
-    return links
+def read_links(path: Path | str,
+               max_bad_lines: int = 0) -> list[tuple[str, str]]:
+    """Read tab-separated entity alignment links (see :func:`read_triples`
+    for ``max_bad_lines``)."""
+    return _read_rows(path, 2, max_bad_lines)
 
 
 def write_links(path: Path | str, links: list[tuple[str, str]]) -> None:
-    """Write tab-separated entity alignment links."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as handle:
-        for left, right in links:
-            handle.write(f"{left}\t{right}\n")
+    """Atomically write tab-separated entity alignment links."""
+    atomic_write_lines(
+        path, (f"{left}\t{right}" for left, right in links), site="io.write"
+    )
 
 
 def save_pair(pair: KGPair, directory: Path | str) -> None:
@@ -88,21 +114,43 @@ def save_pair(pair: KGPair, directory: Path | str) -> None:
     write_links(directory / "ent_links", pair.alignment)
 
 
-def load_pair(directory: Path | str, name: str | None = None) -> KGPair:
-    """Load a :class:`KGPair` from the OpenEA directory layout."""
+def load_pair(directory: Path | str, name: str | None = None,
+              max_bad_lines: int = 0) -> KGPair:
+    """Load a :class:`KGPair` from the OpenEA directory layout.
+
+    All required files are checked up front so a missing one raises a
+    single :class:`FileNotFoundError` naming every absent file, instead
+    of failing one file at a time with a bare ``open`` error.
+    """
     directory = Path(directory)
+    if not directory.is_dir():
+        raise FileNotFoundError(
+            f"dataset directory {directory} does not exist"
+        )
+    missing = [fname for fname in PAIR_FILES
+               if not (directory / fname).is_file()]
+    if missing:
+        raise FileNotFoundError(
+            f"dataset at {directory} is not a complete OpenEA pair: "
+            f"missing {', '.join(missing)} "
+            f"(expected files: {', '.join(PAIR_FILES)})"
+        )
     return KGPair(
         kg1=KnowledgeGraph(
-            relation_triples=read_triples(directory / "rel_triples_1"),
-            attribute_triples=read_triples(directory / "attr_triples_1"),
+            relation_triples=read_triples(
+                directory / "rel_triples_1", max_bad_lines),
+            attribute_triples=read_triples(
+                directory / "attr_triples_1", max_bad_lines),
             name="KG1",
         ),
         kg2=KnowledgeGraph(
-            relation_triples=read_triples(directory / "rel_triples_2"),
-            attribute_triples=read_triples(directory / "attr_triples_2"),
+            relation_triples=read_triples(
+                directory / "rel_triples_2", max_bad_lines),
+            attribute_triples=read_triples(
+                directory / "attr_triples_2", max_bad_lines),
             name="KG2",
         ),
-        alignment=read_links(directory / "ent_links"),
+        alignment=read_links(directory / "ent_links", max_bad_lines),
         name=name if name is not None else directory.name,
     )
 

@@ -34,6 +34,7 @@ import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from ..faults import fault_point
 from .registry import MetricsRegistry, get_registry
 
 __all__ = [
@@ -273,8 +274,19 @@ class RunLedger:
         validate_record(data)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         line = json.dumps(data, sort_keys=True, default=str)
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
+        # A crash mid-append leaves at most one torn trailing line,
+        # which read() skips and compact() garbage-collects; the
+        # crash-replay suite injects here to prove it.
+        fault_point("ledger.append", path=self.path, data=(line + "\n").encode())
+        with open(self.path, "a+b") as handle:
+            # self-heal after a torn append: if the last byte is not a
+            # newline, start a fresh line so this record stays readable
+            handle.seek(0, os.SEEK_END)
+            if handle.tell() > 0:
+                handle.seek(-1, os.SEEK_END)
+                if handle.read(1) != b"\n":
+                    handle.write(b"\n")
+            handle.write((line + "\n").encode("utf-8"))
         return data
 
     def try_append(self, record: RunRecord | dict) -> dict | None:

@@ -17,6 +17,7 @@ from ..alignment import csls as csls_rescale
 from ..alignment import infer_alignment, rank_metrics, similarity_matrix
 from ..approaches.base import EmbeddingApproach
 from ..autodiff import Optimizer, Parameter
+from ..faults import atomic_write_with
 
 __all__ = [
     "EmbeddingSnapshot", "save_snapshot", "load_snapshot",
@@ -91,17 +92,19 @@ class EmbeddingSnapshot:
 
 
 def save_snapshot(snapshot: EmbeddingSnapshot, path: Path | str) -> None:
-    """Write a snapshot to a single ``.npz`` file."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(
+    """Atomically write a snapshot to a single ``.npz`` file."""
+    atomic_write_with(
         path,
-        sources=np.array(snapshot.sources, dtype=object),
-        targets=np.array(snapshot.targets, dtype=object),
-        source_matrix=snapshot.source_matrix,
-        target_matrix=snapshot.target_matrix,
-        metric=np.array(snapshot.metric),
-        name=np.array(snapshot.name),
+        lambda handle: np.savez_compressed(
+            handle,
+            sources=np.array(snapshot.sources, dtype=object),
+            targets=np.array(snapshot.targets, dtype=object),
+            source_matrix=snapshot.source_matrix,
+            target_matrix=snapshot.target_matrix,
+            metric=np.array(snapshot.metric),
+            name=np.array(snapshot.name),
+        ),
+        site="snapshot.save",
     )
 
 
@@ -118,8 +121,6 @@ def save_training_state(
     Adam moments, Adagrad accumulators and momentum velocities all
     round-trip.
     """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     arrays: dict[str, np.ndarray] = {
         f"param_{index}": parameter.data
         for index, parameter in enumerate(parameters)
@@ -133,7 +134,11 @@ def save_training_state(
         for index, slot in state["state"].items():
             for key, value in slot.items():
                 arrays[f"opt_{index}_{key}"] = np.asarray(value)
-    np.savez_compressed(path, **arrays)
+    atomic_write_with(
+        path,
+        lambda handle: np.savez_compressed(handle, **arrays),
+        site="snapshot.save",
+    )
 
 
 def load_training_state(

@@ -10,6 +10,7 @@ from __future__ import annotations
 import csv
 from pathlib import Path
 
+from ..faults import atomic_write_with
 from .runner import CVResult
 
 __all__ = ["export_csv", "export_fold_csv"]
@@ -18,10 +19,12 @@ _METRICS = ("hits@1", "hits@5", "hits@10", "mr", "mrr")
 
 
 def export_csv(results: list[CVResult], path: Path | str) -> None:
-    """One row per (approach, dataset): mean and std of every metric."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "w", newline="", encoding="utf-8") as handle:
+    """One row per (approach, dataset): mean and std of every metric.
+
+    The CSV is written atomically: a crash mid-export leaves the
+    previous complete file (or nothing), never a truncated table.
+    """
+    def _write(handle) -> None:
         writer = csv.writer(handle)
         header = ["approach", "dataset", "folds", "train_seconds"]
         for metric in _METRICS:
@@ -38,12 +41,15 @@ def export_csv(results: list[CVResult], path: Path | str) -> None:
                 row += [f"{mean:.6f}", f"{std:.6f}"]
             writer.writerow(row)
 
+    atomic_write_with(path, _write, mode="w", site="io.write")
+
 
 def export_fold_csv(results: list[CVResult], path: Path | str) -> None:
-    """One row per (approach, dataset, fold): the raw per-fold metrics."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "w", newline="", encoding="utf-8") as handle:
+    """One row per (approach, dataset, fold): the raw per-fold metrics.
+
+    Atomic for the same reason as :func:`export_csv`.
+    """
+    def _write(handle) -> None:
         writer = csv.writer(handle)
         writer.writerow(
             ["approach", "dataset", "fold", "hits@1", "hits@5", "hits@10",
@@ -62,3 +68,5 @@ def export_fold_csv(results: list[CVResult], path: Path | str) -> None:
                     f"{fold.seconds:.3f}",
                     fold.log.epochs_run,
                 ])
+
+    atomic_write_with(path, _write, mode="w", site="io.write")

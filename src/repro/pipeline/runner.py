@@ -7,29 +7,40 @@ numbers Table 5 and Figure 8 report.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable
 
 import numpy as np
 
 from ..alignment.evaluate import RankMetrics
 from ..approaches.base import EmbeddingApproach, TrainingLog
+from ..approaches.checkpointing import _log_to_dict, restore_log_fields
+from ..faults import atomic_write_json, fault_point
 from ..kg import AlignmentSplit, KGPair
 from ..obs import span
 from ..obs.ledger import record_run
 
 __all__ = ["FoldResult", "CVResult", "run_fold", "cross_validate"]
 
+_PROGRESS_FILE = "cv_progress.json"
+
 
 @dataclass
 class FoldResult:
-    """Outcome of one fold."""
+    """Outcome of one fold.
+
+    ``approach`` is ``None`` for folds restored from a cross-validation
+    progress file: only their metrics and log survive a crash, not the
+    trained model object.
+    """
 
     metrics: RankMetrics
     log: TrainingLog
     seconds: float
-    approach: EmbeddingApproach
+    approach: EmbeddingApproach | None
 
 
 @dataclass
@@ -39,6 +50,9 @@ class CVResult:
     name: str
     dataset: str
     folds: list[FoldResult] = field(default_factory=list)
+    # "completed", "resumed" (completed after restoring earlier folds)
+    # or "interrupted" (a fold stopped at a checkpoint; rerun to resume).
+    status: str = "completed"
 
     def _values(self, getter) -> np.ndarray:
         return np.array([getter(fold) for fold in self.folds])
@@ -98,13 +112,32 @@ def run_fold(
     pair: KGPair,
     split: AlignmentSplit,
     hits_at: tuple[int, ...] = (1, 5, 10),
+    checkpoint_dir: Path | str | None = None,
+    checkpoint_every: int = 1,
 ) -> FoldResult:
-    """Train on one fold and evaluate on its test pairs."""
+    """Train on one fold and evaluate on its test pairs.
+
+    With ``checkpoint_dir`` the fold trains crash-safely: ``fit``
+    checkpoints every ``checkpoint_every`` epochs and resumes from an
+    existing checkpoint in that directory.
+    """
     approach = factory()
     with span("fold", approach=approach.info.name, dataset=pair.name):
         started = time.perf_counter()
-        log = approach.fit(pair, split)
+        if checkpoint_dir is not None:
+            log = approach.fit(pair, split, checkpoint_dir=checkpoint_dir,
+                               checkpoint_every=checkpoint_every,
+                               resume_from=True)
+        else:
+            log = approach.fit(pair, split)
         seconds = time.perf_counter() - started
+        if log.status == "interrupted":
+            # No evaluation: the model is mid-training.  Callers check
+            # log.status and resume from the checkpoint.
+            empty = RankMetrics(hits={k: 0.0 for k in hits_at},
+                                mr=0.0, mrr=0.0, n=0)
+            return FoldResult(metrics=empty, log=log, seconds=seconds,
+                              approach=approach)
         with span("evaluate", approach=approach.info.name):
             metrics = approach.evaluate(split.test, hits_at=hits_at)
     return FoldResult(metrics=metrics, log=log, seconds=seconds, approach=approach)
@@ -117,27 +150,134 @@ def cross_validate(
     hits_at: tuple[int, ...] = (1, 5, 10),
     name: str | None = None,
     seed: int = 0,
+    checkpoint_dir: Path | str | None = None,
+    checkpoint_every: int = 1,
 ) -> CVResult:
-    """The paper's 5-fold protocol (``n_folds`` may be reduced for speed)."""
+    """The paper's 5-fold protocol (``n_folds`` may be reduced for speed).
+
+    With ``checkpoint_dir`` the run is crash-safe: each completed fold's
+    metrics are appended atomically to ``cv_progress.json`` in that
+    directory, each in-flight fold checkpoints under ``fold_<k>/``, and
+    rerunning with the same directory skips completed folds and resumes
+    the interrupted one mid-training.  A fold stopped by SIGTERM/SIGINT
+    leaves ``result.status == "interrupted"`` and no further folds run.
+    """
     if not 1 <= n_folds <= 5:
         raise ValueError("n_folds must be between 1 and 5")
     splits = pair.five_fold_splits(seed=seed)[:n_folds]
     if name is None:
         probe = factory()
         name = probe.info.name
+    config = {"approach": name, "dataset": pair.name,
+              "n_folds": n_folds, "seed": seed, "hits_at": list(hits_at)}
+    completed: dict[int, FoldResult] = {}
+    progress_path: Path | None = None
+    if checkpoint_dir is not None:
+        checkpoint_dir = Path(checkpoint_dir)
+        progress_path = checkpoint_dir / _PROGRESS_FILE
+        completed = _load_cv_progress(progress_path, config)
     result = CVResult(name=name, dataset=pair.name)
+    if completed:
+        result.status = "resumed"
     with span("cross_validate", approach=name, dataset=pair.name,
               n_folds=n_folds):
-        for split in splits:
-            result.folds.append(run_fold(factory, pair, split, hits_at=hits_at))
+        for fold_index, split in enumerate(splits, start=1):
+            if fold_index in completed:
+                result.folds.append(completed[fold_index])
+                continue
+            fold_ckpt = None
+            if checkpoint_dir is not None:
+                fold_ckpt = checkpoint_dir / f"fold_{fold_index}"
+            fold = run_fold(factory, pair, split, hits_at=hits_at,
+                            checkpoint_dir=fold_ckpt,
+                            checkpoint_every=checkpoint_every)
+            if fold.log.status == "interrupted":
+                result.status = "interrupted"
+                break
+            result.folds.append(fold)
+            completed[fold_index] = fold
+            if progress_path is not None:
+                _save_cv_progress(progress_path, config, completed)
     # Persist the run to the ledger (no-op unless REPRO_LEDGER_PATH is
     # set) so `repro obs-gate` can compare future CV runs against it.
     record_run("cv", f"{name}/{pair.name}",
-               config={"approach": name, "dataset": pair.name,
-                       "n_folds": n_folds, "seed": seed,
-                       "hits_at": list(hits_at)},
-               scalars=_cv_scalars(result, hits_at))
+               config={**config, "status": result.status},
+               scalars=_cv_scalars(result, hits_at) if result.folds else {})
     return result
+
+
+def _load_cv_progress(path: Path, config: dict) -> dict[int, FoldResult]:
+    """Completed folds recorded by an earlier (interrupted) run.
+
+    Refuses to mix runs: a progress file written under a different
+    approach/dataset/seed/fold-count raises instead of silently merging
+    incomparable folds.  An unreadable progress file also raises — the
+    file is written atomically, so damage means something outside this
+    code touched it.
+    """
+    if not path.is_file():
+        return {}
+    fault_point("cv.progress", path=path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise RuntimeError(
+            f"unreadable cross-validation progress file {path}: {error}"
+        ) from error
+    recorded = data.get("config", {})
+    if recorded != config:
+        raise ValueError(
+            f"cross-validation progress at {path} was written for "
+            f"{recorded}, not {config}; use a fresh checkpoint directory"
+        )
+    completed: dict[int, FoldResult] = {}
+    for key, fold_data in data.get("folds", {}).items():
+        metrics = fold_data["metrics"]
+        log = TrainingLog()
+        restore_log_fields(log, fold_data.get("log"))
+        log.status = "completed"
+        log.train_seconds = float(fold_data.get("train_seconds", 0.0))
+        log.best_epoch = int(fold_data.get("best_epoch", 0))
+        log.peak_rss_bytes = int(fold_data.get("peak_rss_bytes", 0))
+        completed[int(key)] = FoldResult(
+            metrics=RankMetrics(
+                hits={int(k): float(v) for k, v in metrics["hits"].items()},
+                mr=float(metrics["mr"]),
+                mrr=float(metrics["mrr"]),
+                n=int(metrics["n"]),
+            ),
+            log=log,
+            seconds=float(fold_data["seconds"]),
+            approach=None,
+        )
+    return completed
+
+
+def _save_cv_progress(path: Path, config: dict,
+                      completed: dict[int, FoldResult]) -> None:
+    """Atomically rewrite the progress file with every completed fold."""
+    payload = {
+        "schema": 1,
+        "config": config,
+        "folds": {
+            str(index): {
+                "metrics": {
+                    "hits": {str(k): float(v)
+                             for k, v in fold.metrics.hits.items()},
+                    "mr": float(fold.metrics.mr),
+                    "mrr": float(fold.metrics.mrr),
+                    "n": int(fold.metrics.n),
+                },
+                "seconds": float(fold.seconds),
+                "train_seconds": float(fold.log.train_seconds),
+                "best_epoch": int(fold.log.best_epoch),
+                "peak_rss_bytes": int(fold.log.peak_rss_bytes),
+                "log": _log_to_dict(fold.log),
+            }
+            for index, fold in completed.items()
+        },
+    }
+    atomic_write_json(path, payload, site="cv.progress")
 
 
 def _cv_scalars(result: CVResult, hits_at: tuple[int, ...]) -> dict:

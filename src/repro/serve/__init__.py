@@ -29,10 +29,10 @@ from .index import (
     make_index,
 )
 from .metrics import LatencyHistogram, ServingMetrics, recall_vs_exact
-from .store import EmbeddingStore, StoredEmbeddings
+from .store import EmbeddingStore, StoreCorruption, StoredEmbeddings
 
 __all__ = [
-    "EmbeddingStore", "StoredEmbeddings",
+    "EmbeddingStore", "StoredEmbeddings", "StoreCorruption",
     "ANNIndex", "ExactIndex", "LSHIndex", "IVFIndex",
     "INDEX_KINDS", "make_index",
     "QueryEngine", "QueryResult",

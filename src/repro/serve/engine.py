@@ -18,14 +18,15 @@ All traffic is accounted in a :class:`~repro.serve.metrics.ServingMetrics`.
 
 from __future__ import annotations
 
+import sys
 from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
 
-from .index import ANNIndex, make_index
+from .index import ANNIndex, ExactIndex, make_index
 from .metrics import ServingMetrics
-from .store import StoredEmbeddings
+from .store import EmbeddingStore, StoredEmbeddings
 
 __all__ = ["QueryEngine", "QueryResult"]
 
@@ -62,7 +63,65 @@ class QueryEngine:
         self.cache_size = cache_size
         self.metrics = metrics or ServingMetrics()
         self._cache: OrderedDict[tuple[str, int], QueryResult] = OrderedDict()
-        self.index.build(np.asarray(stored.target_matrix))
+        if self.index.size == 0:  # pre-built (store-loaded) indexes skip this
+            try:
+                self.index.build(np.asarray(stored.target_matrix))
+            except Exception as error:  # degraded, never down
+                self._degrade(f"index build failed: {error}")
+
+    @classmethod
+    def from_store(
+        cls, store: EmbeddingStore, version: str | None = None,
+        verify: bool = True, metrics: ServingMetrics | None = None,
+        **kwargs,
+    ) -> "QueryEngine":
+        """Serve a store version with its persisted ANN index, safely.
+
+        The store checksums are verified up front (``verify=False`` to
+        skip): corrupt *embeddings* are fatal — there is no correct
+        answer to degrade to.  A corrupt, missing or unloadable *index*
+        is survivable: the engine logs it, bumps the ``serve.degraded``
+        counter and falls back to exact search, which is slower but
+        exactly right.
+        """
+        metrics = metrics or ServingMetrics()
+        stored = store.load(version, verify=verify)
+        index: ANNIndex
+        try:
+            index = store.load_index(stored.version, stored=stored)
+        except FileNotFoundError:
+            index = "exact"  # nothing persisted; exact is the default
+        except Exception as error:
+            metrics.record_degraded(f"index load failed: {error}")
+            print(f"[repro.serve] persisted index for {stored.version} "
+                  f"unusable ({error}); degrading to exact search",
+                  file=sys.stderr)
+            index = ExactIndex()
+        return cls(stored, index=index, metrics=metrics, **kwargs)
+
+    # ------------------------------------------------------------------
+    def _degrade(self, reason: str) -> None:
+        """Swap the index for exact search and surface why."""
+        self.metrics.record_degraded(reason)
+        print(f"[repro.serve] degrading to exact search: {reason}",
+              file=sys.stderr)
+        self.index = ExactIndex()
+        self.index.build(np.asarray(self.stored.target_matrix))
+
+    @property
+    def degraded(self) -> bool:
+        return self.metrics.degraded > 0
+
+    def _search(self, vectors: np.ndarray,
+                k: int) -> tuple[np.ndarray, np.ndarray]:
+        """``index.search`` with a one-shot exact fallback on failure."""
+        try:
+            return self.index.search(vectors, k=k)
+        except Exception as error:
+            if isinstance(self.index, ExactIndex):
+                raise  # exact search itself failing is not survivable
+            self._degrade(f"index search failed: {error}")
+            return self.index.search(vectors, k=k)
 
     # ------------------------------------------------------------------
     def query(self, entity: str, k: int | None = None) -> QueryResult:
@@ -90,7 +149,7 @@ class QueryEngine:
                 timer.n_queries = len(chunk)
                 rows = [self.stored.source_row(entities[p]) for p in chunk]
                 vectors = np.asarray(self.stored.source_matrix[rows])
-                ids, scores = self.index.search(vectors, k=k)
+                ids, scores = self._search(vectors, k=k)
             for out_row, position in enumerate(chunk):
                 result = self._to_result(entities[position], ids[out_row],
                                          scores[out_row])
@@ -104,7 +163,7 @@ class QueryEngine:
         k = self.k if k is None else k
         with self.metrics.time_batch() as timer:
             timer.n_queries = len(vectors)
-            ids, scores = self.index.search(np.asarray(vectors), k=k)
+            ids, scores = self._search(np.asarray(vectors), k=k)
         self.metrics.record_cache(misses=len(vectors))
         return ids, scores
 

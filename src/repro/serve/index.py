@@ -106,7 +106,14 @@ def _score_rank(queries: np.ndarray, group_of_query: np.ndarray,
 
 
 class ANNIndex:
-    """Interface: ``build(vectors)`` then ``search(queries, k)``."""
+    """Interface: ``build(vectors)`` then ``search(queries, k)``.
+
+    Indexes whose built state is worth persisting additionally expose
+    ``params()`` (constructor kwargs), ``state_arrays()`` (the arrays a
+    store can checkpoint) and ``load_state(vectors, arrays)`` (rebuild
+    against the same vectors without re-running construction) — see
+    :meth:`repro.serve.EmbeddingStore.save_index`.
+    """
 
     kind = "base"
 
@@ -116,6 +123,10 @@ class ANNIndex:
     def search(self, queries: np.ndarray,
                k: int = 10) -> tuple[np.ndarray, np.ndarray]:
         raise NotImplementedError
+
+    def params(self) -> dict:
+        """JSON-able constructor kwargs to recreate this index empty."""
+        return {}
 
     # ------------------------------------------------------------------
     @property
@@ -152,6 +163,9 @@ class ExactIndex(ANNIndex):
     def build(self, vectors: np.ndarray) -> None:
         self._vectors = np.asarray(vectors, dtype=np.float64)
         self._n_indexed = len(self._vectors)
+
+    def params(self) -> dict:
+        return {"block": self.block}
 
     def search(self, queries: np.ndarray,
                k: int = 10) -> tuple[np.ndarray, np.ndarray]:
@@ -196,6 +210,10 @@ class LSHIndex(ANNIndex):
         self._lsh: HyperplaneLSH | None = None
         self._targets: np.ndarray | None = None
         self._n_indexed = 0
+
+    def params(self) -> dict:
+        return {"n_bits": self.n_bits, "n_tables": self.n_tables,
+                "probes": self.probes, "seed": self.seed}
 
     def build(self, vectors: np.ndarray) -> None:
         targets64 = _normalize(vectors)
@@ -326,6 +344,52 @@ class IVFIndex(ANNIndex):
             _score_rank(queries, probe[:, rank], lambda c: clusters[c],
                         ids_buf, scores_buf, rank * k, k)
         return _merge_topk(ids_buf, scores_buf, k)
+
+    # -- persistence ---------------------------------------------------
+    def params(self) -> dict:
+        return {"n_clusters": self.n_clusters, "n_probe": self.n_probe,
+                "iters": self.iters, "seed": self.seed}
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """The built quantizer: centroids plus per-target assignment.
+
+        Together with the target matrix (which the store already holds)
+        this is the whole index — k-means never has to rerun at load.
+        """
+        self._require_built()
+        assignment = np.empty(self._n_indexed, dtype=np.int64)
+        for cluster, members in enumerate(self._members):
+            assignment[members] = cluster
+        return {"centroids": np.asarray(self._centroids),
+                "assignment": assignment}
+
+    def load_state(self, vectors: np.ndarray,
+                   arrays: dict[str, np.ndarray]) -> None:
+        """Rebuild from :meth:`state_arrays` against the same vectors."""
+        targets = _normalize(vectors)
+        centroids = np.asarray(arrays["centroids"], dtype=np.float32)
+        assignment = np.asarray(arrays["assignment"], dtype=np.int64)
+        if assignment.shape != (len(targets),):
+            raise ValueError(
+                f"index state covers {assignment.shape[0]} targets, "
+                f"the store holds {len(targets)}"
+            )
+        if centroids.ndim != 2 or centroids.shape[1] != targets.shape[1]:
+            raise ValueError("centroid dimensionality mismatch")
+        if assignment.size and not (
+                0 <= assignment.min() and
+                assignment.max() < len(centroids)):
+            raise ValueError("assignment references unknown clusters")
+        self._targets = targets.astype(np.float32)
+        self._centroids = centroids
+        self._members = [np.where(assignment == cluster)[0]
+                         for cluster in range(len(centroids))]
+        self._clusters = [
+            (members, np.ascontiguousarray(self._targets[members].T))
+            if members.size else None
+            for members in self._members
+        ]
+        self._n_indexed = len(targets)
 
 
 INDEX_KINDS: dict[str, type[ANNIndex]] = {

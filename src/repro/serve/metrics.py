@@ -92,6 +92,8 @@ class ServingMetrics:
         self._cache_hits = self.registry.counter("serve.cache_hits")
         self._cache_misses = self.registry.counter("serve.cache_misses")
         self._busy = self.registry.counter("serve.busy_seconds")
+        self._degraded = self.registry.counter("serve.degraded")
+        self.degradation_reasons: list[str] = []
 
     # ------------------------------------------------------------------
     def time_batch(self):
@@ -107,6 +109,11 @@ class ServingMetrics:
     def record_cache(self, hits: int = 0, misses: int = 0) -> None:
         self._cache_hits.inc(int(hits))
         self._cache_misses.inc(int(misses))
+
+    def record_degraded(self, reason: str) -> None:
+        """Count one ANN→exact degradation (corrupt or failed index)."""
+        self._degraded.inc()
+        self.degradation_reasons.append(str(reason))
 
     # ------------------------------------------------------------------
     @property
@@ -124,6 +131,10 @@ class ServingMetrics:
     @property
     def cache_misses(self) -> int:
         return int(self._cache_misses.value)
+
+    @property
+    def degraded(self) -> int:
+        return int(self._degraded.value)
 
     @property
     def _busy_seconds(self) -> float:
@@ -147,6 +158,7 @@ class ServingMetrics:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": self.cache_hit_rate,
+            "degraded": self.degraded,
         }
         out.update(self.latency.summary())
         return out

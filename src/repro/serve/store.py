@@ -27,9 +27,11 @@ from pathlib import Path
 
 import numpy as np
 
+from ..faults import atomic_write_json, atomic_write_with, fault_point
 from ..pipeline.checkpoint import EmbeddingSnapshot
+from .index import ANNIndex, make_index
 
-__all__ = ["EmbeddingStore", "StoredEmbeddings"]
+__all__ = ["EmbeddingStore", "StoredEmbeddings", "StoreCorruption"]
 
 _MANIFEST = "manifest.json"
 _VOCAB = "vocab.json"
@@ -77,6 +79,10 @@ class StoredEmbeddings:
         )
 
 
+class StoreCorruption(RuntimeError):
+    """A store artifact exists but fails its manifest sha256 check."""
+
+
 def _checksum(path: Path) -> str:
     digest = hashlib.sha256()
     with open(path, "rb") as handle:
@@ -103,10 +109,21 @@ class EmbeddingStore:
         return json.loads(path.read_text(encoding="utf-8"))
 
     def _write_manifest(self, manifest: dict) -> None:
-        tmp = self._manifest_path().with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True),
-                       encoding="utf-8")
-        tmp.replace(self._manifest_path())
+        atomic_write_json(self._manifest_path(), manifest,
+                          site="store.manifest")
+
+    def _find_entry(self, version: str | None) -> dict:
+        manifest = self.describe()
+        if not manifest["versions"]:
+            raise FileNotFoundError(f"empty embedding store at {self.root}")
+        if version is None:
+            return manifest["versions"][-1]
+        matches = [e for e in manifest["versions"] if e["id"] == version]
+        if not matches:
+            raise KeyError(
+                f"version {version!r} not in store (have {self.versions()})"
+            )
+        return matches[0]
 
     def versions(self) -> list[str]:
         return [entry["id"] for entry in self.describe()["versions"]]
@@ -123,18 +140,21 @@ class EmbeddingStore:
         version = f"v{len(manifest['versions']) + 1:03d}"
         directory = self.root / version
         directory.mkdir(parents=True, exist_ok=False)
-        np.save(directory / _SOURCE, np.ascontiguousarray(
-            snapshot.source_matrix))
-        np.save(directory / _TARGET, np.ascontiguousarray(
-            snapshot.target_matrix))
+        for fname, matrix in ((_SOURCE, snapshot.source_matrix),
+                              (_TARGET, snapshot.target_matrix)):
+            atomic_write_with(
+                directory / fname,
+                lambda handle, m=matrix: np.save(
+                    handle, np.ascontiguousarray(m)),
+                site="store.save",
+            )
         vocab = {
             "sources": list(snapshot.sources),
             "targets": list(snapshot.targets),
             "metric": snapshot.metric,
             "name": snapshot.name,
         }
-        (directory / _VOCAB).write_text(json.dumps(vocab),
-                                        encoding="utf-8")
+        atomic_write_json(directory / _VOCAB, vocab, site="store.save")
         manifest["versions"].append({
             "id": version,
             "name": snapshot.name,
@@ -145,6 +165,7 @@ class EmbeddingStore:
             "checksums": {
                 _SOURCE: _checksum(directory / _SOURCE),
                 _TARGET: _checksum(directory / _TARGET),
+                _VOCAB: _checksum(directory / _VOCAB),
             },
             "metadata": dict(metadata or {}),
         })
@@ -171,22 +192,45 @@ class EmbeddingStore:
         return self.save(snapshot, metadata=info)
 
     # ------------------------------------------------------------------
-    def load(self, version: str | None = None,
-             mmap: bool = True) -> StoredEmbeddings:
-        """Load a version (default: latest), memory-mapped by default."""
-        manifest = self.describe()
-        if not manifest["versions"]:
-            raise FileNotFoundError(f"empty embedding store at {self.root}")
-        if version is None:
-            entry = manifest["versions"][-1]
-        else:
-            matches = [e for e in manifest["versions"] if e["id"] == version]
-            if not matches:
-                raise KeyError(
-                    f"version {version!r} not in store "
-                    f"(have {self.versions()})"
+    def verify(self, version: str | None = None,
+               include_index: bool = False) -> str:
+        """Check a version's manifest checksums; returns its id.
+
+        Raises :class:`StoreCorruption` naming the first damaged file —
+        a flipped bit in an embedding matrix would otherwise serve
+        silently-wrong alignments.  The persisted ANN index file is
+        excluded by default: it is verified by :meth:`load_index`, whose
+        callers can *survive* its corruption by degrading to exact
+        search, whereas matrix corruption is fatal.
+        """
+        entry = self._find_entry(version)
+        directory = self.root / entry["id"]
+        index_file = entry.get("index", {}).get("file")
+        for fname, expected in entry.get("checksums", {}).items():
+            if fname == index_file and not include_index:
+                continue
+            path = directory / fname
+            if not path.is_file():
+                raise StoreCorruption(
+                    f"store file {path} is missing (manifest lists it)"
                 )
-            entry = matches[0]
+            if _checksum(path) != expected:
+                raise StoreCorruption(
+                    f"store file {path} fails its sha256 check"
+                )
+        return entry["id"]
+
+    def load(self, version: str | None = None,
+             mmap: bool = True, verify: bool = False) -> StoredEmbeddings:
+        """Load a version (default: latest), memory-mapped by default.
+
+        ``verify=True`` checks all manifest checksums first (reads every
+        byte, so it defeats mmap laziness once — the serving layer pays
+        this at startup, not per query).
+        """
+        entry = self._find_entry(version)
+        if verify:
+            self.verify(entry["id"])
         directory = self.root / entry["id"]
         vocab = json.loads((directory / _VOCAB).read_text(encoding="utf-8"))
         mmap_mode = "r" if mmap else None
@@ -200,3 +244,72 @@ class EmbeddingStore:
             name=vocab["name"],
             metadata=dict(entry.get("metadata", {})),
         )
+
+    # -- persisted ANN indexes -----------------------------------------
+    def save_index(self, index: ANNIndex, version: str | None = None) -> Path:
+        """Persist a built index's state next to a version's matrices.
+
+        The index must expose ``state_arrays()`` (currently
+        :class:`~repro.serve.index.IVFIndex`; exact search needs no
+        state).  The file is checksummed into the manifest so a damaged
+        index is detected at load time and serving degrades to exact
+        search instead of answering from garbage centroids.
+        """
+        state = getattr(index, "state_arrays", None)
+        if state is None:
+            raise TypeError(
+                f"{type(index).__name__} has no persistable state "
+                f"(only kinds with state_arrays(), e.g. 'ivf', can be saved)"
+            )
+        manifest = self.describe()
+        entry = self._find_entry(version)
+        # _find_entry re-reads the manifest; mutate the copy we persist.
+        entry = next(e for e in manifest["versions"]
+                     if e["id"] == entry["id"])
+        directory = self.root / entry["id"]
+        fname = f"index_{index.kind}.npz"
+        path = directory / fname
+        arrays = state()
+        atomic_write_with(
+            path,
+            lambda handle: np.savez_compressed(handle, **arrays),
+            site="store.save",
+        )
+        entry.setdefault("checksums", {})[fname] = _checksum(path)
+        entry["index"] = {"kind": index.kind, "file": fname,
+                          "params": index.params()}
+        self._write_manifest(manifest)
+        return path
+
+    def load_index(self, version: str | None = None,
+                   stored: StoredEmbeddings | None = None) -> ANNIndex:
+        """Rebuild the persisted index of a version, checksum-verified.
+
+        Raises :class:`FileNotFoundError` when the version never saved
+        an index and :class:`StoreCorruption` when the saved state fails
+        its sha256 check or no longer matches the target matrix — the
+        caller (:meth:`repro.serve.QueryEngine.from_store`) treats both
+        corruption and load failure as a cue to degrade to exact search.
+        """
+        entry = self._find_entry(version)
+        info = entry.get("index")
+        if not info:
+            raise FileNotFoundError(
+                f"version {entry['id']} has no persisted index"
+            )
+        directory = self.root / entry["id"]
+        path = directory / info["file"]
+        fault_point("serve.index_load", path=path)
+        if not path.is_file():
+            raise StoreCorruption(f"persisted index {path} is missing")
+        expected = entry.get("checksums", {}).get(info["file"])
+        if expected and _checksum(path) != expected:
+            raise StoreCorruption(
+                f"persisted index {path} fails its sha256 check"
+            )
+        if stored is None or stored.version != entry["id"]:
+            stored = self.load(entry["id"])
+        index = make_index(info["kind"], **info.get("params", {}))
+        with np.load(path, allow_pickle=False) as npz:
+            index.load_state(np.asarray(stored.target_matrix), dict(npz))
+        return index

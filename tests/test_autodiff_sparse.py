@@ -383,3 +383,78 @@ def test_consume_touched_rejects_foreign_parameter():
     optimizer = SGD([p], lr=0.1)
     with pytest.raises(ValueError):
         optimizer.consume_touched(Parameter(np.ones((2, 2))))
+
+
+# ---------------------------------------------------------------------------
+# checkpoint round-trip under the sparse path
+# ---------------------------------------------------------------------------
+def _sparse_step(optimizer, p, seed):
+    """One update touching a seed-dependent subset of rows."""
+    rng = np.random.default_rng(seed)
+    rows = rng.choice(p.shape[0], size=3, replace=False)
+    optimizer.zero_grad()
+    p.grad = SparseGrad(rows, rng.normal(size=(3,) + p.shape[1:]), p.shape)
+    optimizer.step()
+
+
+@pytest.mark.parametrize("factory,lazy_keys", [
+    (lambda p: SGD([p], lr=0.1, momentum=0.9), ("last_step",)),
+    (lambda p: Adam([p], lr=0.1), ("t",)),
+    (lambda p: Adagrad([p], lr=0.1), ()),
+])
+def test_sparse_state_dict_roundtrip_is_bit_identical(factory, lazy_keys):
+    """Save mid-training under row-sparse grads, restore into a fresh
+    optimizer, continue: parameters and per-row lazy state (momentum
+    ``last_step``, lazy-Adam per-row ``t``) must match bit for bit."""
+    p1 = Parameter(RNG.normal(size=(12, 3)))
+    opt1 = factory(p1)
+    for seed in range(4):
+        _sparse_step(opt1, p1, seed)
+    snapshot = opt1.state_dict()
+    data_at_save = p1.data.copy()
+    for seed in range(4, 7):
+        _sparse_step(opt1, p1, seed)
+
+    p2 = Parameter(data_at_save)
+    opt2 = factory(p2)
+    opt2.load_state_dict(snapshot)
+    # the lazy per-row counters restore exactly, not just the tensors
+    for key in lazy_keys:
+        np.testing.assert_array_equal(
+            opt2.state_dict()["state"][0][key], snapshot["state"][0][key]
+        )
+    for seed in range(4, 7):
+        _sparse_step(opt2, p2, seed)
+
+    np.testing.assert_array_equal(p2.data, p1.data)
+    state1, state2 = opt1.state_dict()["state"][0], opt2.state_dict()["state"][0]
+    assert state1.keys() == state2.keys()
+    for key in state1:
+        np.testing.assert_array_equal(state1[key], state2[key])
+
+
+def test_sparse_roundtrip_preserves_pending_catchup():
+    """Rows with *stale* momentum at save time (touched early, then not
+    again) must catch up identically after a restore — the ghost-update
+    arithmetic depends on last_step surviving the round-trip."""
+    p1 = Parameter(np.zeros((6, 2)))
+    opt1 = SGD([p1], lr=0.1, momentum=0.9)
+    # touch row 0 once, then hammer row 5 so row 0 goes stale
+    p1.grad = SparseGrad([0], np.ones((1, 2)), p1.shape)
+    opt1.step()
+    for _ in range(3):
+        p1.grad = SparseGrad([5], np.ones((1, 2)), p1.shape)
+        opt1.step()
+    snapshot = opt1.state_dict()
+    saved = p1.data.copy()
+    assert snapshot["state"][0]["last_step"][0] == 1  # row 0 is stale
+
+    p1.grad = SparseGrad([0], np.ones((1, 2)), p1.shape)  # catch-up fires
+    opt1.step()
+
+    p2 = Parameter(saved)
+    opt2 = SGD([p2], lr=0.1, momentum=0.9)
+    opt2.load_state_dict(snapshot)
+    p2.grad = SparseGrad([0], np.ones((1, 2)), p2.shape)
+    opt2.step()
+    np.testing.assert_array_equal(p2.data, p1.data)

@@ -1,0 +1,239 @@
+"""Crash-replay suite: injected crashes, then resume, then equivalence.
+
+The contract under test (docs/robustness.md): for every injected kill
+site, (a) no torn or corrupt *readable* artifact survives the crash,
+and (b) a resumed run finishes with exactly the embeddings and metrics
+the uninterrupted run would have produced.
+"""
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.approaches import (
+    ApproachConfig,
+    CheckpointCorruption,
+    MTransE,
+    TrainingCheckpointer,
+)
+from repro.datagen import benchmark_pair
+from repro.faults import InjectedFault
+from repro.obs.ledger import RunLedger
+from repro.pipeline.checkpoint import (
+    EmbeddingSnapshot,
+    load_snapshot,
+    save_snapshot,
+)
+from repro.pipeline.runner import cross_validate
+
+REPO = Path(__file__).resolve().parents[1]
+EPOCHS = 5
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    pair = benchmark_pair("EN-FR", size=120, method="direct", seed=0)
+    split = pair.split(train_ratio=0.3, valid_ratio=0.1, seed=0)
+    return pair, split
+
+
+def _factory():
+    return MTransE(ApproachConfig(epochs=EPOCHS, dim=8, seed=1,
+                                  valid_every=0))
+
+
+def _fit_checkpointed(pair, split, directory, resume=False):
+    approach = _factory()
+    log = approach.fit(pair, split, checkpoint_dir=directory,
+                       checkpoint_every=1, resume_from=resume)
+    return approach, log
+
+
+@pytest.fixture(scope="module")
+def uninterrupted(tiny):
+    pair, split = tiny
+    approach = _factory()
+    approach.fit(pair, split)
+    return ([p.data.copy() for p in approach._parameters()],
+            approach.evaluate(split.test))
+
+
+def _assert_equivalent(approach, uninterrupted, split):
+    reference_params, reference_metrics = uninterrupted
+    for got, expected in zip(approach._parameters(), reference_params):
+        # stronger than the required allclose(atol=1e-12): bit-for-bit
+        np.testing.assert_array_equal(got.data, expected)
+    metrics = approach.evaluate(split.test)
+    assert metrics.hits_at(1) == reference_metrics.hits_at(1)
+    assert metrics.mrr == reference_metrics.mrr
+
+
+# ------------------------------------------------------------------ site 1
+def test_crash_at_epoch_boundary_then_resume(tiny, uninterrupted, tmp_path):
+    pair, split = tiny
+    with faults.inject("epoch.end:nth=2:mode=raise"):
+        with pytest.raises(InjectedFault):
+            _fit_checkpointed(pair, split, tmp_path)
+    approach, log = _fit_checkpointed(pair, split, tmp_path, resume=True)
+    assert log.status == "resumed"
+    assert log.resumed_from_epoch >= 1
+    assert log.epochs_run == EPOCHS
+    _assert_equivalent(approach, uninterrupted, split)
+
+
+# ------------------------------------------------------------------ site 2
+def test_crash_mid_checkpoint_write_then_resume(tiny, uninterrupted,
+                                                tmp_path):
+    """Tear the epoch-2 state file mid-write: the manifest must still
+    reference the complete epoch-1 checkpoint, and resuming from it must
+    reproduce the uninterrupted run exactly."""
+    pair, split = tiny
+    with faults.inject("checkpoint.write:nth=2:mode=partial"):
+        with pytest.raises(InjectedFault):
+            _fit_checkpointed(pair, split, tmp_path)
+    # the surviving checkpoint is complete and verifies
+    checkpointer = TrainingCheckpointer(tmp_path)
+    manifest = checkpointer.manifest()  # raises on any torn artifact
+    assert manifest["epoch"] == 1
+    # the torn write only ever touched a *.tmp sibling
+    assert (tmp_path / "state_ep000002.npz.tmp").exists()
+    assert not (tmp_path / "state_ep000002.npz").exists()
+    approach, log = _fit_checkpointed(pair, split, tmp_path, resume=True)
+    assert log.status == "resumed"
+    _assert_equivalent(approach, uninterrupted, split)
+
+
+def test_crash_mid_manifest_write_then_resume(tiny, uninterrupted, tmp_path):
+    pair, split = tiny
+    with faults.inject("checkpoint.manifest:nth=2:mode=partial"):
+        with pytest.raises(InjectedFault):
+            _fit_checkpointed(pair, split, tmp_path)
+    manifest = TrainingCheckpointer(tmp_path).manifest()
+    assert manifest["epoch"] == 1  # previous complete manifest survives
+    approach, log = _fit_checkpointed(pair, split, tmp_path, resume=True)
+    assert log.status == "resumed"
+    _assert_equivalent(approach, uninterrupted, split)
+
+
+def test_corrupt_checkpoint_refuses_to_resume(tiny, tmp_path):
+    pair, split = tiny
+    with faults.inject("epoch.end:nth=2:mode=raise"):
+        with pytest.raises(InjectedFault):
+            _fit_checkpointed(pair, split, tmp_path)
+    state = sorted(tmp_path.glob("state_ep*.npz"))[-1]
+    raw = bytearray(state.read_bytes())
+    raw[len(raw) // 2] ^= 0xFF
+    state.write_bytes(bytes(raw))
+    with pytest.raises(CheckpointCorruption):
+        _fit_checkpointed(pair, split, tmp_path, resume=True)
+
+
+# ------------------------------------------------------------------ site 3
+def test_crash_mid_ledger_append_leaves_skippable_line(tmp_path):
+    ledger = RunLedger(tmp_path / "ledger.jsonl")
+    record = {"schema_version": 1, "run_id": "r1", "ts_utc": "t",
+              "kind": "train", "name": "a", "fingerprint": "f" * 16,
+              "git": {}, "host": {}, "config": {}, "scalars": {},
+              "metrics": {}}
+    ledger.append(dict(record, run_id="r0"))
+    with faults.inject("ledger.append:nth=1:mode=partial"):
+        with pytest.raises(InjectedFault):
+            ledger.append(record)
+    # the torn trailing line is skipped, never fatal, and appends recover
+    records, skipped = ledger.read()
+    assert [r["run_id"] for r in records] == ["r0"]
+    assert skipped == 1
+    ledger.append(dict(record, run_id="r2"))
+    records, skipped = ledger.read()
+    assert [r["run_id"] for r in records] == ["r0", "r2"]
+
+
+# ------------------------------------------------------------------ site 4
+def test_crash_mid_snapshot_save_preserves_old_file(tmp_path):
+    rng = np.random.default_rng(0)
+    snapshot = EmbeddingSnapshot(
+        ["a", "b"], rng.normal(size=(2, 4)),
+        ["x", "y"], rng.normal(size=(2, 4)), name="v1",
+    )
+    path = tmp_path / "snap.npz"
+    save_snapshot(snapshot, path)
+    replacement = EmbeddingSnapshot(
+        ["a", "b"], rng.normal(size=(2, 4)),
+        ["x", "y"], rng.normal(size=(2, 4)), name="v2",
+    )
+    with faults.inject("snapshot.save:nth=1:mode=partial"):
+        with pytest.raises(InjectedFault):
+            save_snapshot(replacement, path)
+    # the reader still sees the old complete snapshot, never a torn one
+    loaded = load_snapshot(path)
+    assert loaded.name == "v1"
+    np.testing.assert_array_equal(loaded.source_matrix,
+                                  snapshot.source_matrix)
+
+
+# ------------------------------------------------- real SIGKILL, subprocess
+def test_real_kill_and_resume_is_bit_identical(tmp_path):
+    """An os._exit(137) at epoch 3 (a genuine dead process, not an
+    exception) resumed from its checkpoint must reach the same final
+    parameter hash and metrics as a never-interrupted run."""
+    def run(*extra, env_faults=None):
+        env = dict(os.environ, PYTHONPATH="src")
+        env.pop("REPRO_FAULTS", None)
+        if env_faults:
+            env["REPRO_FAULTS"] = env_faults
+        return subprocess.run(
+            [sys.executable, "-m", "repro.cli", "train", "--size", "100",
+             "--dim", "8", "--epochs", "4", *extra],
+            env=env, cwd=REPO, capture_output=True, text=True,
+        )
+
+    killed = run("--checkpoint-dir", str(tmp_path / "ck"),
+                 env_faults="epoch.end:nth=2:mode=kill")
+    assert killed.returncode == 137, killed.stderr
+    resumed = run("--checkpoint-dir", str(tmp_path / "ck"), "--resume")
+    assert resumed.returncode == 0, resumed.stderr
+    reference = run()
+    assert reference.returncode == 0, reference.stderr
+
+    def digest(output):
+        return re.search(r"params_sha256=(\w+)", output).group(1)
+
+    def scores(output):
+        return re.search(r"hits@1=\S+ mrr=\S+", output).group(0)
+
+    assert digest(resumed.stdout) == digest(reference.stdout)
+    assert scores(resumed.stdout) == scores(reference.stdout)
+    assert "status=resumed" in resumed.stdout
+
+
+# ------------------------------------------------------------- cv + no-op
+def test_cross_validate_resumes_completed_folds(tiny, tmp_path):
+    pair, _ = tiny
+    baseline = cross_validate(_factory, pair, n_folds=2, seed=0)
+    with faults.inject(f"epoch.end:nth={EPOCHS + 2}:mode=raise"):
+        with pytest.raises(InjectedFault):  # dies inside fold 2
+            cross_validate(_factory, pair, n_folds=2, seed=0,
+                           checkpoint_dir=tmp_path)
+    resumed = cross_validate(_factory, pair, n_folds=2, seed=0,
+                             checkpoint_dir=tmp_path)
+    assert resumed.status == "resumed"
+    assert len(resumed.folds) == 2
+    assert resumed.folds[0].approach is None  # restored, not retrained
+    for metric in ("hits@1", "mrr"):
+        assert resumed.mean_std(metric) == baseline.mean_std(metric)
+
+
+def test_checkpointing_changes_nothing_about_training(tiny, uninterrupted,
+                                                      tmp_path):
+    """With no faults armed, a checkpointed fit is bit-identical to a
+    plain one — crash safety must not perturb training."""
+    pair, split = tiny
+    approach, log = _fit_checkpointed(pair, split, tmp_path)
+    assert log.status == "completed"
+    _assert_equivalent(approach, uninterrupted, split)

@@ -1,0 +1,139 @@
+"""Robustness of the OpenEA-format dataset I/O (repro.kg.io)."""
+
+import warnings
+
+import pytest
+
+from repro import faults
+from repro.datagen import benchmark_pair
+from repro.faults import InjectedFault
+from repro.kg.io import (
+    PAIR_FILES,
+    load_pair,
+    read_links,
+    read_triples,
+    save_pair,
+    write_links,
+    write_triples,
+)
+
+
+@pytest.fixture(scope="module")
+def saved_pair_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("pair")
+    pair = benchmark_pair("EN-FR", size=80, method="direct", seed=0)
+    save_pair(pair, directory)
+    return directory, pair
+
+
+# ------------------------------------------------------------- load_pair
+def test_load_pair_round_trips(saved_pair_dir):
+    directory, pair = saved_pair_dir
+    loaded = load_pair(directory)
+    assert loaded.kg1.relation_triples == pair.kg1.relation_triples
+    assert loaded.alignment == pair.alignment
+
+
+def test_load_pair_missing_directory(tmp_path):
+    with pytest.raises(FileNotFoundError, match="does not exist"):
+        load_pair(tmp_path / "nope")
+
+
+def test_load_pair_names_every_missing_file(tmp_path):
+    # an empty directory is missing all five OpenEA files
+    (tmp_path / "empty").mkdir()
+    with pytest.raises(FileNotFoundError) as excinfo:
+        load_pair(tmp_path / "empty")
+    message = str(excinfo.value)
+    for fname in PAIR_FILES:
+        assert fname in message
+
+
+def test_load_pair_names_single_missing_file(saved_pair_dir, tmp_path):
+    directory, pair = saved_pair_dir
+    partial = tmp_path / "partial"
+    save_pair(pair, partial)
+    (partial / "ent_links").unlink()
+    with pytest.raises(FileNotFoundError, match="missing ent_links"):
+        load_pair(partial)
+
+
+def test_load_pair_truncated_file_has_line_number(saved_pair_dir, tmp_path):
+    directory, pair = saved_pair_dir
+    damaged = tmp_path / "damaged"
+    save_pair(pair, damaged)
+    # simulate a mid-line truncation on the relation file
+    path = damaged / "rel_triples_1"
+    text = path.read_text(encoding="utf-8")
+    lines = text.splitlines()
+    path.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][:5],
+                    encoding="utf-8")
+    with pytest.raises(ValueError, match=rf"rel_triples_1:{len(lines)}:"):
+        load_pair(damaged)
+    # the forgiving mode skips the torn line with a warning instead
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        loaded = load_pair(damaged, max_bad_lines=1)
+    assert any("line skipped" in str(w.message) for w in caught)
+    assert len(loaded.kg1.relation_triples) == len(lines) - 1
+
+
+def test_load_pair_empty_file_is_tolerated(saved_pair_dir, tmp_path):
+    # an empty (zero-triple) file is valid OpenEA content, not an error
+    directory, pair = saved_pair_dir
+    sparse = tmp_path / "sparse"
+    save_pair(pair, sparse)
+    (sparse / "attr_triples_1").write_text("", encoding="utf-8")
+    loaded = load_pair(sparse)
+    assert loaded.kg1.attribute_triples == []
+
+
+# ----------------------------------------------------------- bad lines
+def test_read_triples_strict_by_default(tmp_path):
+    path = tmp_path / "t"
+    path.write_text("a\tb\tc\nbroken line\n", encoding="utf-8")
+    with pytest.raises(ValueError, match=r":2: expected 3 fields, got 1"):
+        read_triples(path)
+
+
+def test_read_triples_max_bad_lines_budget(tmp_path):
+    path = tmp_path / "t"
+    path.write_text("a\tb\tc\nbad1\nbad2\nd\te\tf\n", encoding="utf-8")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        triples = read_triples(path, max_bad_lines=2)
+    assert triples == [("a", "b", "c"), ("d", "e", "f")]
+    assert len(caught) == 2
+    # one more bad line than the budget: strict again, names the budget
+    path.write_text("bad1\nbad2\nbad3\n", encoding="utf-8")
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        with pytest.raises(ValueError, match="max_bad_lines=2"):
+            read_triples(path, max_bad_lines=2)
+
+
+def test_read_links_max_bad_lines(tmp_path):
+    path = tmp_path / "links"
+    path.write_text("a\tb\nc\td\te\n", encoding="utf-8")
+    with pytest.raises(ValueError):
+        read_links(path)
+    with warnings.catch_warnings(record=True):
+        warnings.simplefilter("always")
+        assert read_links(path, max_bad_lines=1) == [("a", "b")]
+
+
+# --------------------------------------------------------- atomic write
+def test_write_triples_is_atomic(tmp_path):
+    path = tmp_path / "rel"
+    write_triples(path, [("a", "b", "c")])
+    with faults.inject("io.write:nth=1:mode=raise:stage=pre"):
+        with pytest.raises(InjectedFault):
+            write_triples(path, [("x", "y", "z")] * 100)
+    # crash mid-write: the previous complete file is still what readers see
+    assert read_triples(path) == [("a", "b", "c")]
+
+
+def test_write_links_round_trip(tmp_path):
+    path = tmp_path / "deep" / "nested" / "links"
+    write_links(path, [("a", "b"), ("c", "d")])
+    assert read_links(path) == [("a", "b"), ("c", "d")]

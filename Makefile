@@ -1,4 +1,4 @@
-.PHONY: install test test-fast verify bench serve-bench train-bench train-bench-smoke obs-smoke perf-gate perf-gate-smoke faults-smoke examples all
+.PHONY: install test test-fast verify bench serve-bench train-bench train-bench-smoke obs-smoke perf-gate perf-gate-smoke faults-smoke sweep-smoke tables examples all
 
 install:
 	pip install -e . --no-build-isolation
@@ -48,6 +48,27 @@ perf-gate-smoke:
 # site, then resume, asserting bit-identical training (docs/robustness.md)
 faults-smoke:
 	PYTHONPATH=src python -m pytest -q tests/test_faults.py tests/test_crash_replay.py
+
+# toy 2-approach x 2-dataset sweep through the parallel orchestrator
+# (docs/orchestration.md): runs with jobs=2, then reruns serially to
+# report the speedup and verify bit-identical metrics, plus the fast
+# orchestrator test files
+sweep-smoke:
+	REPRO_LEDGER_PATH=benchmarks/reports/ledger.jsonl PYTHONPATH=src \
+		python -m repro.cli sweep --spec benchmarks/sweeps/smoke.toml \
+		--jobs 2 --workdir benchmarks/reports/sweep_smoke --compare-serial
+	PYTHONPATH=src python -m pytest -q tests/test_orchestrate.py tests/test_sweep_smoke.py
+
+# regenerate the paper-table sweep (tuned via successive halving, 5-fold
+# CV at full budget), then gate its ledger records against the trailing
+# baseline *within this sweep* — a regression fails the target
+tables:
+	REPRO_LEDGER_PATH=benchmarks/reports/ledger.jsonl PYTHONPATH=src \
+		python -m repro.cli sweep --spec benchmarks/sweeps/tables.toml \
+		--jobs 4 --workdir benchmarks/reports/sweep_tables \
+		--out benchmarks/reports/tables.txt
+	PYTHONPATH=src python -m repro.cli obs-gate \
+		--ledger benchmarks/reports/ledger.jsonl --sweep tables
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f; done

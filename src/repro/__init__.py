@@ -21,6 +21,7 @@ from .approaches import APPROACHES, ApproachConfig, get_approach
 from .conventional import LogMap, Paris
 from .datagen import FAMILIES, benchmark_pair, source_pair
 from .kg import KGPair, KnowledgeGraph, load_pair, save_pair
+from .orchestrate import load_spec, run_sweep
 from .pipeline import cross_validate
 from .sampling import ids_sample, pagerank, prs_sample, ras_sample
 
@@ -33,6 +34,7 @@ __all__ = [
     "APPROACHES", "get_approach", "ApproachConfig",
     "Paris", "LogMap",
     "cross_validate",
+    "load_spec", "run_sweep",
     "similarity_matrix", "csls", "rank_metrics", "prf_metrics",
     "__version__",
 ]

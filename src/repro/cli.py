@@ -124,6 +124,26 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--recall-sample", type=int, default=0,
                        help="estimate recall@k vs exact on N sampled queries")
 
+    sweep = commands.add_parser(
+        "sweep",
+        help="run a budget-aware parallel hyperparameter sweep from a "
+             "TOML/JSON spec (see docs/orchestration.md)",
+    )
+    sweep.add_argument("--spec", type=Path, required=True,
+                       help="sweep spec file (.toml or .json)")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = inline serial)")
+    sweep.add_argument("--workdir", type=Path, default=None,
+                       help="crash-safe state: sweep progress + training "
+                            "checkpoints; rerun with the same dir to resume")
+    sweep.add_argument("--out", type=Path, default=None,
+                       help="also write the result table to this file")
+    sweep.add_argument("--no-record", action="store_true",
+                       help="do not append ledger records for this sweep")
+    sweep.add_argument("--compare-serial", action="store_true",
+                       help="rerun the sweep with jobs=1 and report the "
+                            "speedup + verify bit-identical metrics")
+
     obs_report = commands.add_parser(
         "obs-report",
         help="render a telemetry events.jsonl into a per-phase breakdown",
@@ -160,6 +180,10 @@ def build_parser() -> argparse.ArgumentParser:
     obs_ledger.add_argument("-n", type=int, default=10,
                             help="rows for `tail` / runs kept per "
                                  "fingerprint by `compact`")
+    obs_ledger.add_argument("--sweep", default=None,
+                            help="restrict to records of one sweep "
+                                 "(full `name@fingerprint` id or just "
+                                 "the sweep name)")
 
     obs_gate = commands.add_parser(
         "obs-gate",
@@ -180,6 +204,9 @@ def build_parser() -> argparse.ArgumentParser:
                                "threshold (e.g. 0.1 for 10%%)")
     obs_gate.add_argument("--json", action="store_true",
                           help="print the machine-readable verdict")
+    obs_gate.add_argument("--sweep", default=None,
+                          help="gate within one sweep's records only "
+                               "(`name@fingerprint` id or sweep name)")
 
     obs_export = commands.add_parser(
         "obs-export",
@@ -509,29 +536,74 @@ def _ledger_line(record: dict) -> str:
             f"fp={record['fingerprint'][:8]}  {headline}")
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .orchestrate import load_spec, payload_metrics, run_sweep
+
+    if not args.spec.is_file():
+        print(f"error: no sweep spec at {args.spec}", file=sys.stderr)
+        return 2
+    try:
+        spec = load_spec(args.spec)
+    except (ValueError, KeyError) as error:
+        print(f"error: bad sweep spec {args.spec}: {error}", file=sys.stderr)
+        return 2
+    result = run_sweep(spec, jobs=args.jobs, workdir=args.workdir,
+                       record=not args.no_record)
+    text = result.format()
+    if args.compare_serial:
+        serial = run_sweep(spec, jobs=1, record=False)
+        mismatched = [
+            job_id for job_id in serial.job_payloads
+            if payload_metrics(serial.job_payloads[job_id])
+            != payload_metrics(result.job_payloads.get(job_id, {}))
+        ]
+        speedup = serial.seconds / result.seconds if result.seconds else 0.0
+        text += (f"\nserial comparison: jobs={args.jobs} took "
+                 f"{result.seconds:.1f}s vs {serial.seconds:.1f}s serial "
+                 f"({speedup:.2f}x speedup"
+                 f"{', restored jobs skew the timing' if result.stats.restored else ''}); "
+                 f"metrics {'bit-identical' if not mismatched else 'DIFFER'}")
+        if mismatched:
+            print(text)
+            print(f"error: {len(mismatched)} job(s) differ between serial "
+                  f"and parallel runs: {mismatched}", file=sys.stderr)
+            return 1
+    print(text)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_obs_ledger(args: argparse.Namespace) -> int:
     import json
 
-    from .obs import RunLedger
+    from .obs import RunLedger, sweep_where
 
+    where = sweep_where(args.sweep) if args.sweep else None
     ledger = RunLedger(args.ledger)
     records, skipped = ledger.read()
     if skipped:
         print(f"warning: skipped {skipped} unreadable ledger line(s) in "
               f"{ledger.path}", file=sys.stderr)
+    if where is not None:
+        records = [record for record in records if where(record)]
     if args.action == "compact":
         if not ledger.path.is_file():
             print(f"error: no ledger at {ledger.path}", file=sys.stderr)
             return 2
-        kept, dropped = ledger.compact(keep_last=args.n)
-        print(f"compacted {ledger.path}: kept {kept}, dropped {dropped}")
+        kept, dropped = ledger.compact(keep_last=args.n, where=where)
+        scope = f" (sweep {args.sweep})" if args.sweep else ""
+        print(f"compacted {ledger.path}{scope}: kept {kept}, "
+              f"dropped {dropped}")
         return 0
     if args.action == "show":
         if not args.run_id:
             print("error: `show` needs a run id (see obs-ledger list)",
                   file=sys.stderr)
             return 2
-        record = ledger.last(run_id=args.run_id)
+        record = ledger.last(run_id=args.run_id, where=where)
         if record is None:
             print(f"error: no run {args.run_id!r} in {ledger.path}",
                   file=sys.stderr)
@@ -539,7 +611,8 @@ def _cmd_obs_ledger(args: argparse.Namespace) -> int:
         print(json.dumps(record, sort_keys=True, indent=2))
         return 0
     if not records:
-        print(f"error: no runs recorded in {ledger.path} (set "
+        scope = f" for sweep {args.sweep}" if args.sweep else ""
+        print(f"error: no runs recorded{scope} in {ledger.path} (set "
               f"REPRO_LEDGER_PATH or run a bench with REPRO_BENCH_TRACE=1)",
               file=sys.stderr)
         return 1
@@ -551,12 +624,13 @@ def _cmd_obs_ledger(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs_gate(args: argparse.Namespace) -> int:
-    from .obs import RunLedger, gate
+    from .obs import RunLedger, gate, sweep_where
 
     ledger = RunLedger(args.ledger)
     report = gate(
         ledger, metrics=args.metric or None, n_baseline=args.n_baseline,
         run_id=args.run, rel_threshold=args.rel_threshold,
+        where=sweep_where(args.sweep) if args.sweep else None,
     )
     if args.json:
         print(report.to_json())
@@ -623,6 +697,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve_build(args)
     if args.command == "serve-query":
         return _cmd_serve_query(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "obs-report":
         return _cmd_obs_report(args)
     if args.command == "obs-smoke":

@@ -1,0 +1,68 @@
+"""One config fingerprint for the whole system.
+
+Three artifacts need to decide "are these two runs the same
+experiment?": the run ledger (:mod:`repro.obs.ledger`), the
+cross-validation progress file (:mod:`repro.pipeline.runner`) and the
+sweep progress file (:mod:`repro.orchestrate`).  They all answer it the
+same way — a sha256-16 digest over the canonically-serialized
+configuration — and they all answer it *here*, so the digests are
+interchangeable: a sweep job's id is a valid ledger fingerprint and
+vice versa.
+
+Two flavours share the implementation:
+
+* ``config_fingerprint(config)`` — the ledger convention: the digest
+  covers the config dict *plus* the ``REPRO_BENCH_*`` environment, so a
+  smoke-scale run can never become the baseline of a full-scale one.
+* ``config_fingerprint(config, include_env=False)`` — the progress-file
+  convention: resume decisions depend only on the experiment itself,
+  not on whether tracing happened to be on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+__all__ = ["canonical_json", "fingerprint", "env_fingerprint",
+           "config_fingerprint"]
+
+#: Environment prefixes that shape a run enough to break comparability.
+ENV_PREFIXES = ("REPRO_BENCH_",)
+
+
+def canonical_json(payload) -> str:
+    """Deterministic serialization: sorted keys, non-JSON types via str."""
+    return json.dumps(payload, sort_keys=True, default=str)
+
+
+def fingerprint(payload) -> str:
+    """A stable 16-hex sha256 digest of any JSON-serializable payload."""
+    return hashlib.sha256(
+        canonical_json(payload).encode("utf-8")
+    ).hexdigest()[:16]
+
+
+def env_fingerprint(prefixes: tuple[str, ...] = ENV_PREFIXES) -> dict:
+    """The environment knobs that shape a run (``REPRO_BENCH_*``)."""
+    return {
+        key: value
+        for key, value in sorted(os.environ.items())
+        if any(key.startswith(prefix) for prefix in prefixes)
+    }
+
+
+def config_fingerprint(config: dict, *, include_env: bool = True) -> str:
+    """A stable 16-hex digest of the run configuration.
+
+    Two runs are comparable (same baseline pool / same resumable
+    experiment) iff their fingerprints match.  With ``include_env``
+    (the ledger default) the digest also covers the ``REPRO_BENCH_*``
+    environment; progress files pass ``include_env=False`` so resuming
+    does not depend on telemetry toggles.
+    """
+    payload: dict = {"config": config or {}}
+    if include_env:
+        payload["env"] = env_fingerprint()
+    return fingerprint(payload)

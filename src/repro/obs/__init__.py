@@ -37,7 +37,10 @@ from .ledger import (
     RunRecord,
     config_fingerprint,
     default_ledger,
+    env_fingerprint,
     record_run,
+    record_sweep_id,
+    sweep_where,
     validate_record,
 )
 from .opprof import (

@@ -24,7 +24,6 @@ are skipped, counted and reported, never fatal.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import platform
@@ -35,6 +34,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..faults import fault_point
+from ..fingerprint import config_fingerprint, env_fingerprint
 from .registry import MetricsRegistry, get_registry
 
 __all__ = [
@@ -47,6 +47,8 @@ __all__ = [
     "git_info",
     "host_info",
     "record_run",
+    "record_sweep_id",
+    "sweep_where",
     "validate_record",
     "default_ledger",
 ]
@@ -57,7 +59,7 @@ DEFAULT_LEDGER_PATH = "reports/ledger.jsonl"
 
 # Run kinds the ledger understands; free-form kinds are allowed but the
 # canonical producers stick to these.
-KNOWN_KINDS = ("train", "bench", "cv", "serve")
+KNOWN_KINDS = ("train", "bench", "cv", "serve", "sweep")
 
 _REQUIRED_FIELDS = {
     "schema_version": int,
@@ -74,30 +76,9 @@ _REQUIRED_FIELDS = {
 }
 
 
-def env_fingerprint(prefixes: tuple[str, ...] = ("REPRO_BENCH_",)) -> dict:
-    """The ``REPRO_BENCH_*`` environment knobs that shape a run.
-
-    These feed the config fingerprint so a 300-entity smoke bench never
-    becomes the baseline for a 15k-entity run.
-    """
-    return {
-        key: value
-        for key, value in sorted(os.environ.items())
-        if any(key.startswith(prefix) for prefix in prefixes)
-    }
-
-
-def config_fingerprint(config: dict) -> str:
-    """A stable 16-hex digest of the run configuration.
-
-    Two runs are comparable (same baseline pool) iff their fingerprints
-    match: the digest covers the caller's config dict *plus* the
-    ``REPRO_BENCH_*`` environment, canonically serialized.
-    """
-    payload = {"config": config or {}, "env": env_fingerprint()}
-    canonical = json.dumps(payload, sort_keys=True, default=str)
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
-
+# config_fingerprint / env_fingerprint live in repro.fingerprint (one
+# digest shared by the ledger, cv_progress.json and sweep progress);
+# they are re-exported here for their historical home.
 
 def git_info(cwd: str | Path | None = None) -> dict:
     """``{"sha": ..., "dirty": ...}`` for the enclosing git repo.
@@ -326,12 +307,15 @@ class RunLedger:
         return iter(self.records())
 
     def last(self, *, kind: str | None = None,
-             run_id: str | None = None) -> dict | None:
-        """The most recent record (optionally of one kind / exact id)."""
+             run_id: str | None = None, where=None) -> dict | None:
+        """The most recent record (optionally of one kind / exact id /
+        matching a ``where`` predicate)."""
         for record in reversed(self.records()):
             if kind is not None and record["kind"] != kind:
                 continue
             if run_id is not None and record["run_id"] != run_id:
+                continue
+            if where is not None and not where(record):
                 continue
             return record
         return None
@@ -386,25 +370,31 @@ class RunLedger:
         exclude_run_id: str | None = None,
         kind: str | None = None,
         name: str | None = None,
+        where=None,
     ) -> list[float]:
         """The trailing-``n`` values of ``metric`` among comparable runs.
 
         This is what the regression sentinel compares the current run
         against: same fingerprint, most recent ``n``, the current run
-        itself excluded.
+        itself excluded.  ``where`` narrows the pool further — e.g. to
+        one sweep's records via :func:`sweep_where`.
         """
         series = self.history(metric, fingerprint=fingerprint, kind=kind,
-                              name=name)
+                              name=name, where=where)
         values = [value for record, value in series
                   if record["run_id"] != exclude_run_id]
         return values[-n:]
 
     # -- maintenance ---------------------------------------------------
-    def compact(self, keep_last: int = 20) -> tuple[int, int]:
+    def compact(self, keep_last: int = 20, *, where=None) -> tuple[int, int]:
         """Atomically rewrite the ledger keeping the trailing
         ``keep_last`` runs per ``(fingerprint, kind, name)`` group.
 
-        Returns ``(kept, dropped)``; bad lines are dropped too.
+        With ``where`` (a ``record -> bool`` predicate) only matching
+        records are subject to retention — everything else is rewritten
+        untouched, so one sweep can be compacted without disturbing
+        unrelated bench history.  Returns ``(kept, dropped)``; bad
+        lines are dropped too.
         """
         if keep_last <= 0:
             raise ValueError("keep_last must be positive")
@@ -412,6 +402,9 @@ class RunLedger:
         kept: list[dict] = []
         seen_per_group: dict[tuple, int] = {}
         for record in reversed(records):
+            if where is not None and not where(record):
+                kept.append(record)
+                continue
             group = (record["fingerprint"], record["kind"], record["name"])
             if seen_per_group.get(group, 0) < keep_last:
                 seen_per_group[group] = seen_per_group.get(group, 0) + 1
@@ -424,6 +417,26 @@ class RunLedger:
                              + "\n")
         tmp.replace(self.path)
         return len(kept), len(records) - len(kept) + skipped
+
+
+def record_sweep_id(record: dict) -> str | None:
+    """The sweep id a record was produced under, if any."""
+    sweep_id = record.get("config", {}).get("sweep_id")
+    return sweep_id if isinstance(sweep_id, str) else None
+
+
+def sweep_where(sweep: str):
+    """A ``where`` predicate selecting one sweep's ledger records.
+
+    Matches the full sweep id (``tables@1a2b3c4d``) or just the sweep
+    spec name (``tables``), which selects every run of that spec.
+    """
+    def _match(record: dict) -> bool:
+        sweep_id = record_sweep_id(record)
+        if sweep_id is None:
+            return False
+        return sweep_id == sweep or sweep_id.partition("@")[0] == sweep
+    return _match
 
 
 def default_ledger() -> RunLedger | None:
@@ -448,6 +461,7 @@ def record_run(
     ledger: RunLedger | None = None,
     path: str | Path | None = None,
     strict: bool = False,
+    fingerprint: str | None = None,
 ) -> dict | None:
     """Build a :class:`RunRecord` from the current process state and
     append it.
@@ -457,6 +471,9 @@ def record_run(
     carries the handful of headline numbers the regression gate reads.
     Without an explicit ``ledger``/``path`` the environment decides via
     :func:`default_ledger` — and when that is unset, this is a no-op.
+    ``fingerprint`` overrides the config-derived digest — sweep jobs
+    use it to keep run-identity tags (``sweep_id``) out of the
+    comparability pool.
     """
     if ledger is None:
         ledger = RunLedger(path) if path is not None else default_ledger()
@@ -471,6 +488,7 @@ def record_run(
     record = RunRecord(
         kind=kind, name=name, config=dict(config or {}),
         scalars=clean_scalars, metrics=registry.snapshot(),
+        fingerprint=fingerprint or "",
     )
     if strict:
         return ledger.append(record)

@@ -371,6 +371,7 @@ def gate(
     seed: int = 0,
     inject_factor: float | None = None,
     rel_threshold: float | None = None,
+    where=None,
 ) -> GateReport:
     """Evaluate the most recent run (or ``run_id``) against its
     trailing-``n_baseline`` same-fingerprint history.
@@ -378,7 +379,10 @@ def gate(
     Metrics default to every policy-known scalar the current run
     carries.  ``rel_threshold`` overrides every policy's band (CLI
     knob); ``inject_factor`` (or ``REPRO_GATE_INJECT_FACTOR``) worsens
-    current values first — the CI self-test hook.
+    current values first — the CI self-test hook.  ``where`` (a
+    ``record -> bool`` predicate) restricts both the gated run and its
+    baseline pool — e.g. :func:`repro.obs.ledger.sweep_where` keeps a
+    sweep's jobs from being judged against unrelated bench records.
     """
     policies = dict(policies or DEFAULT_POLICIES)
     if rel_threshold is not None:
@@ -388,7 +392,7 @@ def gate(
         inject_factor = float(
             os.environ.get("REPRO_GATE_INJECT_FACTOR") or 1.0)
 
-    current = ledger.last(run_id=run_id)
+    current = ledger.last(run_id=run_id, where=where)
     if current is None:
         return GateReport(status="no-runs", inject_factor=inject_factor)
     fingerprint = fingerprint or current["fingerprint"]
@@ -418,6 +422,7 @@ def gate(
             metric, fingerprint, n=n_baseline,
             exclude_run_id=current["run_id"],
             kind=current["kind"], name=current["name"],
+            where=where,
         )
         report.verdicts.append(compare(value, baseline, policy, seed=seed))
 

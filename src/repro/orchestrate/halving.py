@@ -1,0 +1,91 @@
+"""Budget-aware tuning: successive halving on validation Hits@1.
+
+Berrendorf et al. ("A Critical Assessment of State-of-the-Art in Entity
+Alignment", PAPERS.md) show that comparing approaches fairly requires
+sweeping hyperparameters per approach — and that is exactly what makes
+table regeneration quadratically expensive.  Successive halving (the
+inner loop of Hyperband) spends the budget where it matters: every
+candidate gets a short run at the first *rung*, only the top ``1/eta``
+fraction is promoted to the next rung with ``eta``× the epochs, and so
+on until one winner per (approach, dataset) group remains.  A bad
+candidate costs ``min_epochs`` of training instead of ``max_epochs`` —
+with the default ``eta=2`` at least half the grid is pruned at the
+first rung, well before anyone reaches the full budget.
+
+Candidates are scored on validation Hits@1 (never test — the tuner
+must not see test pairs); ties break lexicographically on candidate id
+so promotion is deterministic.  The rung/promotion logic here is pure —
+the sweep driver (:mod:`repro.orchestrate.sweep`) turns rungs into
+:class:`~repro.orchestrate.jobs.JobSpec` batches, and checkpoint
+lineages make each promotion *resume* training rather than restart it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["HalvingSchedule", "rung_budgets", "select_survivors"]
+
+
+def rung_budgets(min_epochs: int, max_epochs: int, eta: int = 2) -> list[int]:
+    """The tuning-rung epoch budgets: ``min, min*eta, ... < max``.
+
+    The full ``max_epochs`` budget is *not* a tuning rung — only the
+    winner ever trains that long (in the final cross-validation phase),
+    which is what "pruned before full budget" means.
+    """
+    if min_epochs < 1:
+        raise ValueError("min_epochs must be >= 1")
+    if eta < 2:
+        raise ValueError("eta must be >= 2")
+    if min_epochs >= max_epochs:
+        return [max(1, max_epochs // eta)]
+    budgets = []
+    budget = min_epochs
+    while budget < max_epochs:
+        budgets.append(budget)
+        budget *= eta
+    return budgets
+
+
+def select_survivors(scores: dict[str, float], keep: int) -> list[str]:
+    """The top-``keep`` candidate ids by score, deterministically.
+
+    Sorts by (score desc, candidate id asc): equal scores promote the
+    lexicographically-first candidates, so reruns and worker ordering
+    can never change who survives.
+    """
+    if keep < 1:
+        raise ValueError("keep must be >= 1")
+    ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+    return [candidate for candidate, _ in ranked[:keep]]
+
+
+@dataclass(frozen=True)
+class HalvingSchedule:
+    """Successive-halving plan for one candidate grid."""
+
+    n_candidates: int
+    max_epochs: int
+    min_epochs: int = 1
+    eta: int = 2
+
+    def budgets(self) -> list[int]:
+        return rung_budgets(self.min_epochs, self.max_epochs, self.eta)
+
+    def keep_after(self, rung: int, alive: int) -> int:
+        """Survivor count after ``rung``: the top ``1/eta`` fraction,
+        always at least one, and exactly one after the last rung."""
+        budgets = self.budgets()
+        if rung >= len(budgets) - 1:
+            return 1
+        return max(1, alive // self.eta)
+
+    def describe(self) -> str:
+        budgets = self.budgets()
+        steps = []
+        alive = self.n_candidates
+        for rung, budget in enumerate(budgets):
+            steps.append(f"rung{rung}: {alive} cand x {budget}ep")
+            alive = self.keep_after(rung, alive)
+        return " -> ".join(steps + [f"winner x {self.max_epochs}ep (CV)"])

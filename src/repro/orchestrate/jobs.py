@@ -1,0 +1,221 @@
+"""The orchestrator's job model.
+
+A *job* is the unit the scheduler fans out: one (approach config,
+dataset, fold) triple, trained for a given epoch budget.  Everything
+about a job is plain data, so a job can be shipped to a worker process,
+recorded in the run ledger and replayed from a progress file:
+
+* ``job_id`` — a deterministic sha256-16 over the job's canonical
+  payload, computed with the same :func:`repro.fingerprint.fingerprint`
+  the ledger uses, so job identity and ledger comparability are one
+  concept.
+* ``lineage_id`` — the job id with the epoch budget (and tuning-round
+  bookkeeping) removed.  Successive-halving rungs of one candidate
+  share a lineage, which is what lets rung promotion *resume* the
+  candidate's checkpoint instead of retraining from scratch.
+* ``seed()`` — the per-job RNG seed, derived from
+  ``np.random.SeedSequence`` keyed by the lineage id.  Because the
+  seed is a pure function of job identity, results are bit-identical
+  no matter which worker runs the job or in what order
+  (``jobs=1`` == ``jobs=4``), and a candidate resumed at a higher
+  budget continues the exact RNG stream it checkpointed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+
+import numpy as np
+
+from ..approaches.base import ApproachConfig
+from ..fingerprint import fingerprint
+
+__all__ = ["JobSpec", "JobResult", "execute_job", "load_dataset",
+           "dataset_key", "derive_seed"]
+
+_CONFIG_FIELDS = {f.name for f in fields(ApproachConfig)}
+
+
+def dataset_key(dataset: dict) -> str:
+    """Stable identity of a dataset spec (used to share loaded pairs)."""
+    return fingerprint(dict(dataset))
+
+
+def derive_seed(base_seed: int, lineage_id: str) -> int:
+    """The per-job seed: ``SeedSequence`` spawned off the lineage id.
+
+    ``spawn_key`` carries the 64-bit lineage fingerprint, so every job
+    of a sweep draws from a statistically independent stream while
+    remaining a pure function of (sweep seed, job identity).
+    """
+    sequence = np.random.SeedSequence(
+        entropy=base_seed, spawn_key=(int(lineage_id, 16),)
+    )
+    return int(sequence.generate_state(1)[0])
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One schedulable unit of a sweep: train + evaluate a single fold."""
+
+    approach: str
+    #: dataset spec: either generator knobs (``family``/``size``/
+    #: ``version``/``method``/``seed``) or ``{"path": ...}``.
+    dataset: dict = field(default_factory=dict)
+    fold: int = 1
+    cv_seed: int = 0
+    #: :class:`ApproachConfig` overrides (never ``seed`` — that is derived).
+    config: dict = field(default_factory=dict)
+    #: training budget in epochs (halving rungs shrink this).
+    epochs: int = 10
+    #: sweep bookkeeping: which candidate of which tuning round.
+    candidate: str = ""
+    stage: str = "final"  # "tune" (halving rung) or "final" (full CV)
+    rung: int = -1
+    hits_at: tuple = (1, 5, 10)
+    base_seed: int = 0
+
+    def __post_init__(self):
+        unknown = set(self.config) - _CONFIG_FIELDS
+        if unknown:
+            raise ValueError(
+                f"unknown ApproachConfig fields in job config: "
+                f"{sorted(unknown)}"
+            )
+        if "seed" in self.config:
+            raise ValueError(
+                "job configs must not pin 'seed'; per-job seeds are "
+                "derived from SeedSequence keyed by the job id"
+            )
+        if "epochs" in self.config:
+            raise ValueError(
+                "set the epoch budget via JobSpec.epochs, not the config "
+                "dict, so halving rungs stay one lineage"
+            )
+
+    # -- identity ------------------------------------------------------
+    def _lineage_payload(self) -> dict:
+        return {
+            "approach": self.approach,
+            "dataset": dict(self.dataset),
+            "fold": self.fold,
+            "cv_seed": self.cv_seed,
+            "config": dict(self.config),
+            "candidate": self.candidate,
+            "hits_at": list(self.hits_at),
+            "base_seed": self.base_seed,
+        }
+
+    def payload(self) -> dict:
+        """The canonical plain-data form (job id / ledger / progress)."""
+        return {**self._lineage_payload(),
+                "epochs": self.epochs, "stage": self.stage,
+                "rung": self.rung}
+
+    @property
+    def job_id(self) -> str:
+        return fingerprint(self.payload())
+
+    @property
+    def lineage_id(self) -> str:
+        """Identity across budgets: rungs of one candidate share this."""
+        return fingerprint(self._lineage_payload())
+
+    def seed(self) -> int:
+        return derive_seed(self.base_seed, self.lineage_id)
+
+    def at_budget(self, epochs: int, *, stage: str | None = None,
+                  rung: int | None = None) -> "JobSpec":
+        """The same lineage at a different epoch budget."""
+        return replace(self, epochs=epochs,
+                       stage=self.stage if stage is None else stage,
+                       rung=self.rung if rung is None else rung)
+
+    def build_config(self) -> ApproachConfig:
+        return ApproachConfig(**self.config, epochs=self.epochs,
+                              seed=self.seed())
+
+    def describe(self) -> str:
+        bits = [self.approach]
+        if self.candidate:
+            bits.append(self.candidate)
+        bits.append(f"fold{self.fold}")
+        if self.stage == "tune":
+            bits.append(f"rung{self.rung}@{self.epochs}ep")
+        return "/".join(bits)
+
+
+def load_dataset(dataset: dict):
+    """Materialize a dataset spec into a :class:`~repro.kg.KGPair`."""
+    spec = dict(dataset)
+    if "path" in spec:
+        from ..kg import load_pair
+
+        return load_pair(Path(spec["path"]))
+    from ..datagen import benchmark_pair
+
+    family = spec.pop("family")
+    return benchmark_pair(family, **spec)
+
+
+def execute_job(spec: JobSpec, *, pairs: dict | None = None,
+                workdir: Path | str | None = None) -> dict:
+    """Run one job to completion; returns a plain-data result payload.
+
+    Runs in a worker process (or inline for ``jobs=1``): builds the
+    dataset (or takes it from ``pairs``, the parent-loaded cache that
+    forked workers inherit), trains the fold crash-safely when a
+    ``workdir`` is given — rung promotions of the same lineage resume
+    the checkpoint under ``workdir/ckpt/<lineage_id>`` — and evaluates
+    validation Hits@1 (the tuner's score) plus the test metrics.
+    """
+    from .sweep import _dataset_name  # late: avoids import cycle
+
+    from ..approaches import get_approach
+    from ..pipeline.runner import FoldResult, fold_to_dict
+
+    pair = (pairs or {}).get(dataset_key(spec.dataset))
+    if pair is None:
+        pair = load_dataset(spec.dataset)
+    split = pair.five_fold_splits(seed=spec.cv_seed)[spec.fold - 1]
+    approach = get_approach(spec.approach, spec.build_config())
+    started = time.perf_counter()
+    if workdir is not None:
+        ckpt = Path(workdir) / "ckpt" / spec.lineage_id
+        log = approach.fit(pair, split, checkpoint_dir=ckpt,
+                           resume_from=True)
+    else:
+        log = approach.fit(pair, split)
+    seconds = time.perf_counter() - started
+    if log.status == "interrupted":
+        raise RuntimeError(
+            f"job {spec.job_id} ({spec.describe()}) was interrupted "
+            f"mid-training; rerun the sweep to resume"
+        )
+    metrics = approach.evaluate(split.test, hits_at=tuple(spec.hits_at))
+    if split.valid:
+        score = approach.evaluate(split.valid, hits_at=(1,)).hits_at(1)
+    else:  # degenerate toy split: fall back to the test metric
+        score = metrics.hits_at(1)
+    fold = FoldResult(metrics=metrics, log=log, seconds=seconds,
+                      approach=None)
+    return {
+        "job_id": spec.job_id,
+        "approach": spec.approach,
+        "dataset": _dataset_name(spec.dataset, pair),
+        "fold": spec.fold,
+        "candidate": spec.candidate,
+        "stage": spec.stage,
+        "rung": spec.rung,
+        "epochs": spec.epochs,
+        "seed": spec.seed(),
+        "score": float(score),
+        "fold_result": fold_to_dict(fold),
+    }
+
+
+#: JobResult is a documented alias: the plain dict ``execute_job``
+#: returns (see its docstring for the schema).
+JobResult = dict

@@ -1,0 +1,72 @@
+"""The atomic sweep-progress file: crash-safe sweep resume.
+
+Mirrors ``cv_progress.json`` (PR 5) one level up: every completed job's
+payload is rewritten atomically to ``sweep_progress.json`` in the sweep
+workdir, keyed by job id, under the sweep's config fingerprint — the
+same :func:`repro.fingerprint.config_fingerprint` the ledger and the CV
+runner use.  Re-running a sweep with the same workdir restores the
+completed jobs and only schedules the remainder; a progress file
+written by a *different* sweep spec refuses to load instead of merging
+incomparable jobs.
+
+Writes go through :func:`repro.faults.atomic_write_json` with the
+``sweep.progress`` fault site, so the crash-replay suite can tear them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..faults import atomic_write_json, fault_point
+from ..fingerprint import config_fingerprint
+
+__all__ = ["SweepProgress", "PROGRESS_FILE"]
+
+PROGRESS_FILE = "sweep_progress.json"
+
+
+class SweepProgress:
+    """Completed-job store for one sweep workdir."""
+
+    def __init__(self, workdir: Path | str, sweep_config: dict):
+        self.path = Path(workdir) / PROGRESS_FILE
+        self.config = dict(sweep_config)
+        self.fingerprint = config_fingerprint(self.config,
+                                              include_env=False)
+        self.jobs: dict[str, dict] = {}
+
+    def load(self) -> dict[str, dict]:
+        """Restore completed jobs; ``{}`` when starting fresh.
+
+        Raises on a fingerprint mismatch or an unreadable file — both
+        mean the workdir belongs to some other experiment.
+        """
+        if not self.path.is_file():
+            return {}
+        fault_point("sweep.progress", path=self.path)
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise RuntimeError(
+                f"unreadable sweep progress file {self.path}: {error}"
+            ) from error
+        stored = data.get("fingerprint")
+        if stored != self.fingerprint:
+            raise ValueError(
+                f"sweep progress at {self.path} was written for "
+                f"{data.get('sweep', {})}, not {self.config}; use a "
+                f"fresh --workdir"
+            )
+        self.jobs = dict(data.get("jobs", {}))
+        return dict(self.jobs)
+
+    def record(self, job_id: str, payload: dict) -> None:
+        """Add one completed job and atomically rewrite the file."""
+        self.jobs[job_id] = payload
+        atomic_write_json(self.path, {
+            "schema": 1,
+            "sweep": self.config,
+            "fingerprint": self.fingerprint,
+            "jobs": self.jobs,
+        }, site="sweep.progress")

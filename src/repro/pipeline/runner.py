@@ -19,11 +19,13 @@ from ..alignment.evaluate import RankMetrics
 from ..approaches.base import EmbeddingApproach, TrainingLog
 from ..approaches.checkpointing import _log_to_dict, restore_log_fields
 from ..faults import atomic_write_json, fault_point
+from ..fingerprint import config_fingerprint
 from ..kg import AlignmentSplit, KGPair
 from ..obs import span
 from ..obs.ledger import record_run
 
-__all__ = ["FoldResult", "CVResult", "run_fold", "cross_validate"]
+__all__ = ["FoldResult", "CVResult", "run_fold", "cross_validate",
+           "fold_to_dict", "fold_from_dict"]
 
 _PROGRESS_FILE = "cv_progress.json"
 
@@ -152,6 +154,7 @@ def cross_validate(
     seed: int = 0,
     checkpoint_dir: Path | str | None = None,
     checkpoint_every: int = 1,
+    jobs: int = 1,
 ) -> CVResult:
     """The paper's 5-fold protocol (``n_folds`` may be reduced for speed).
 
@@ -161,6 +164,13 @@ def cross_validate(
     rerunning with the same directory skips completed folds and resumes
     the interrupted one mid-training.  A fold stopped by SIGTERM/SIGINT
     leaves ``result.status == "interrupted"`` and no further folds run.
+
+    With ``jobs > 1`` the pending folds fan out over that many worker
+    processes through :mod:`repro.orchestrate` — results are
+    bit-identical to the serial run (folds are independent and each
+    seeds its own RNG), completed folds still land in
+    ``cv_progress.json`` one by one, and a crashed worker's fold is
+    requeued to a fresh worker (see ``docs/orchestration.md``).
     """
     if not 1 <= n_folds <= 5:
         raise ValueError("n_folds must be between 1 and 5")
@@ -180,24 +190,35 @@ def cross_validate(
     if completed:
         result.status = "resumed"
     with span("cross_validate", approach=name, dataset=pair.name,
-              n_folds=n_folds):
-        for fold_index, split in enumerate(splits, start=1):
-            if fold_index in completed:
-                result.folds.append(completed[fold_index])
-                continue
-            fold_ckpt = None
-            if checkpoint_dir is not None:
-                fold_ckpt = checkpoint_dir / f"fold_{fold_index}"
-            fold = run_fold(factory, pair, split, hits_at=hits_at,
-                            checkpoint_dir=fold_ckpt,
-                            checkpoint_every=checkpoint_every)
-            if fold.log.status == "interrupted":
-                result.status = "interrupted"
-                break
-            result.folds.append(fold)
-            completed[fold_index] = fold
-            if progress_path is not None:
-                _save_cv_progress(progress_path, config, completed)
+              n_folds=n_folds, jobs=jobs):
+        pending = [k for k in range(1, n_folds + 1) if k not in completed]
+        if jobs > 1 and len(pending) > 1:
+            _parallel_folds(
+                pending, completed, factory=factory, pair=pair,
+                splits=splits, hits_at=hits_at, jobs=jobs,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_every=checkpoint_every,
+                progress_path=progress_path, config=config, name=name,
+            )
+            result.folds = [completed[k] for k in sorted(completed)]
+        else:
+            for fold_index, split in enumerate(splits, start=1):
+                if fold_index in completed:
+                    result.folds.append(completed[fold_index])
+                    continue
+                fold_ckpt = None
+                if checkpoint_dir is not None:
+                    fold_ckpt = checkpoint_dir / f"fold_{fold_index}"
+                fold = run_fold(factory, pair, split, hits_at=hits_at,
+                                checkpoint_dir=fold_ckpt,
+                                checkpoint_every=checkpoint_every)
+                if fold.log.status == "interrupted":
+                    result.status = "interrupted"
+                    break
+                result.folds.append(fold)
+                completed[fold_index] = fold
+                if progress_path is not None:
+                    _save_cv_progress(progress_path, config, completed)
     # Persist the run to the ledger (no-op unless REPRO_LEDGER_PATH is
     # set) so `repro obs-gate` can compare future CV runs against it.
     record_run("cv", f"{name}/{pair.name}",
@@ -206,14 +227,64 @@ def cross_validate(
     return result
 
 
+def fold_to_dict(fold: FoldResult) -> dict:
+    """Serialize a :class:`FoldResult` to plain JSON-friendly data.
+
+    The one wire/disk format for fold outcomes: ``cv_progress.json``,
+    the sweep progress file and the orchestrator's worker->parent result
+    queue all carry exactly this shape.
+    """
+    return {
+        "metrics": {
+            "hits": {str(k): float(v) for k, v in fold.metrics.hits.items()},
+            "mr": float(fold.metrics.mr),
+            "mrr": float(fold.metrics.mrr),
+            "n": int(fold.metrics.n),
+        },
+        "seconds": float(fold.seconds),
+        "train_seconds": float(fold.log.train_seconds),
+        "best_epoch": int(fold.log.best_epoch),
+        "peak_rss_bytes": int(fold.log.peak_rss_bytes),
+        "log": _log_to_dict(fold.log),
+    }
+
+
+def fold_from_dict(data: dict) -> FoldResult:
+    """Rebuild a :class:`FoldResult` from :func:`fold_to_dict` output.
+
+    The trained model object does not survive the round trip, so
+    ``fold.approach`` is ``None`` — the same contract as folds restored
+    from a progress file.
+    """
+    metrics = data["metrics"]
+    log = TrainingLog()
+    restore_log_fields(log, data.get("log"))
+    log.status = "completed"
+    log.train_seconds = float(data.get("train_seconds", 0.0))
+    log.best_epoch = int(data.get("best_epoch", 0))
+    log.peak_rss_bytes = int(data.get("peak_rss_bytes", 0))
+    return FoldResult(
+        metrics=RankMetrics(
+            hits={int(k): float(v) for k, v in metrics["hits"].items()},
+            mr=float(metrics["mr"]),
+            mrr=float(metrics["mrr"]),
+            n=int(metrics["n"]),
+        ),
+        log=log,
+        seconds=float(data["seconds"]),
+        approach=None,
+    )
+
+
 def _load_cv_progress(path: Path, config: dict) -> dict[int, FoldResult]:
     """Completed folds recorded by an earlier (interrupted) run.
 
-    Refuses to mix runs: a progress file written under a different
-    approach/dataset/seed/fold-count raises instead of silently merging
-    incomparable folds.  An unreadable progress file also raises — the
-    file is written atomically, so damage means something outside this
-    code touched it.
+    Refuses to mix runs: a progress file whose config fingerprint (see
+    :mod:`repro.fingerprint`) differs — another approach, dataset, seed
+    or fold count — raises instead of silently merging incomparable
+    folds.  An unreadable progress file also raises — the file is
+    written atomically, so damage means something outside this code
+    touched it.
     """
     if not path.is_file():
         return {}
@@ -225,32 +296,16 @@ def _load_cv_progress(path: Path, config: dict) -> dict[int, FoldResult]:
             f"unreadable cross-validation progress file {path}: {error}"
         ) from error
     recorded = data.get("config", {})
-    if recorded != config:
+    expected = config_fingerprint(config, include_env=False)
+    stored = data.get("fingerprint",
+                      config_fingerprint(recorded, include_env=False))
+    if stored != expected:
         raise ValueError(
             f"cross-validation progress at {path} was written for "
             f"{recorded}, not {config}; use a fresh checkpoint directory"
         )
-    completed: dict[int, FoldResult] = {}
-    for key, fold_data in data.get("folds", {}).items():
-        metrics = fold_data["metrics"]
-        log = TrainingLog()
-        restore_log_fields(log, fold_data.get("log"))
-        log.status = "completed"
-        log.train_seconds = float(fold_data.get("train_seconds", 0.0))
-        log.best_epoch = int(fold_data.get("best_epoch", 0))
-        log.peak_rss_bytes = int(fold_data.get("peak_rss_bytes", 0))
-        completed[int(key)] = FoldResult(
-            metrics=RankMetrics(
-                hits={int(k): float(v) for k, v in metrics["hits"].items()},
-                mr=float(metrics["mr"]),
-                mrr=float(metrics["mrr"]),
-                n=int(metrics["n"]),
-            ),
-            log=log,
-            seconds=float(fold_data["seconds"]),
-            approach=None,
-        )
-    return completed
+    return {int(key): fold_from_dict(fold_data)
+            for key, fold_data in data.get("folds", {}).items()}
 
 
 def _save_cv_progress(path: Path, config: dict,
@@ -259,25 +314,69 @@ def _save_cv_progress(path: Path, config: dict,
     payload = {
         "schema": 1,
         "config": config,
-        "folds": {
-            str(index): {
-                "metrics": {
-                    "hits": {str(k): float(v)
-                             for k, v in fold.metrics.hits.items()},
-                    "mr": float(fold.metrics.mr),
-                    "mrr": float(fold.metrics.mrr),
-                    "n": int(fold.metrics.n),
-                },
-                "seconds": float(fold.seconds),
-                "train_seconds": float(fold.log.train_seconds),
-                "best_epoch": int(fold.log.best_epoch),
-                "peak_rss_bytes": int(fold.log.peak_rss_bytes),
-                "log": _log_to_dict(fold.log),
-            }
-            for index, fold in completed.items()
-        },
+        "fingerprint": config_fingerprint(config, include_env=False),
+        "folds": {str(index): fold_to_dict(fold)
+                  for index, fold in completed.items()},
     }
     atomic_write_json(path, payload, site="cv.progress")
+
+
+# ---------------------------------------------------------------------------
+# parallel fold execution (delegates to repro.orchestrate)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class _FoldTask:
+    """A fold as the orchestrator's scheduler sees it."""
+
+    fold: int
+
+    @property
+    def job_id(self) -> str:
+        return f"fold_{self.fold}"
+
+
+def _run_fold_task(task: _FoldTask, *, factory, pair, splits, hits_at,
+                   checkpoint_dir, checkpoint_every) -> dict:
+    """Worker-side fold execution; returns :func:`fold_to_dict` data."""
+    fold_ckpt = None
+    if checkpoint_dir is not None:
+        fold_ckpt = Path(checkpoint_dir) / f"fold_{task.fold}"
+    fold = run_fold(factory, pair, splits[task.fold - 1], hits_at=hits_at,
+                    checkpoint_dir=fold_ckpt,
+                    checkpoint_every=checkpoint_every)
+    if fold.log.status == "interrupted":
+        raise RuntimeError(
+            f"fold {task.fold} was interrupted inside a worker; "
+            f"rerun to resume from its checkpoint"
+        )
+    return fold_to_dict(fold)
+
+
+def _parallel_folds(pending, completed, *, factory, pair, splits, hits_at,
+                    jobs, checkpoint_dir, checkpoint_every, progress_path,
+                    config, name) -> None:
+    """Fan the pending folds out over worker processes."""
+    from ..orchestrate.scheduler import run_jobs
+
+    def on_complete(task, payload):
+        completed[task.fold] = fold_from_dict(payload)
+        if progress_path is not None:
+            _save_cv_progress(progress_path, config, completed)
+
+    _, stats = run_jobs(
+        [_FoldTask(fold=k) for k in pending],
+        jobs=jobs,
+        runner=_run_fold_task,
+        runner_kwargs=dict(factory=factory, pair=pair, splits=list(splits),
+                           hits_at=hits_at, checkpoint_dir=checkpoint_dir,
+                           checkpoint_every=checkpoint_every),
+        label=f"cv/{name}",
+        on_complete=on_complete,
+    )
+    if stats.failed:
+        details = "; ".join(f"{job_id}: {error}"
+                            for job_id, error in stats.failed.items())
+        raise RuntimeError(f"cross-validation folds failed: {details}")
 
 
 def _cv_scalars(result: CVResult, hits_at: tuple[int, ...]) -> dict:

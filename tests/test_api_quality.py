@@ -12,7 +12,7 @@ SUBPACKAGES = [
     "repro", "repro.autodiff", "repro.kg", "repro.text", "repro.datagen",
     "repro.sampling", "repro.embedding", "repro.alignment",
     "repro.approaches", "repro.conventional", "repro.analysis",
-    "repro.pipeline", "repro.cli",
+    "repro.pipeline", "repro.cli", "repro.orchestrate", "repro.fingerprint",
 ]
 
 

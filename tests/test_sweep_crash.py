@@ -1,0 +1,93 @@
+"""Crash recovery for parallel sweeps (docs/orchestration.md).
+
+Arms the fault-injection plan so workers ``os._exit(137)`` mid-fold
+(the ``epoch.end`` site) or at job pickup (the ``sweep.job`` site) —
+forked workers inherit the armed plan — then asserts the sweep still
+completes, only torn jobs were requeued, and every metric matches an
+uninterrupted run bit for bit.
+"""
+
+import pytest
+
+from repro import faults
+from repro.faults import KILL_EXIT_CODE
+from repro.orchestrate import parse_spec, payload_metrics, run_sweep
+
+RAW_SPEC = {
+    "sweep": {"name": "crashy", "n_folds": 2, "seed": 0, "epochs": 4},
+    "halving": {"min_epochs": 1, "eta": 2},
+    "datasets": [{"family": "EN-FR", "size": 120, "method": "direct"}],
+    "approaches": [
+        {"name": "MTransE", "config": {"dim": 8, "valid_every": 2},
+         "grid": {"lr": [0.01, 0.05, 0.2, 1.0]}},
+    ],
+}
+
+
+@pytest.fixture(scope="module")
+def clean_result():
+    return run_sweep(parse_spec(RAW_SPEC), jobs=1, record=False)
+
+
+@pytest.fixture(autouse=True)
+def _disarm():
+    yield
+    faults.install(None)
+
+
+def _assert_matches_clean(crashed, clean_result):
+    assert not crashed.stats.failed
+    assert crashed.stats.worker_deaths > 0, "no worker was ever killed"
+    assert crashed.stats.requeued, "the torn job was not requeued"
+    # each death tears at most the one in-flight job of that worker
+    assert len(crashed.stats.requeued) <= crashed.stats.worker_deaths
+    assert crashed.job_payloads.keys() == clean_result.job_payloads.keys()
+    for job_id, payload in clean_result.job_payloads.items():
+        assert payload_metrics(payload) == \
+            payload_metrics(crashed.job_payloads[job_id]), job_id
+
+
+def test_worker_killed_at_job_pickup_is_survived(tmp_path, clean_result):
+    # every worker dies the moment it picks up its second job; veteran
+    # deaths are requeued without charging attempts, so the sweep
+    # finishes no matter how often the fault fires
+    faults.install("sweep.job:nth=2:mode=kill")
+    crashed = run_sweep(parse_spec(RAW_SPEC), jobs=2, record=False,
+                        workdir=tmp_path / "sweep")
+    faults.install(None)
+    _assert_matches_clean(crashed, clean_result)
+    # requeued jobs were torn mid-flight yet still completed exactly once
+    assert set(crashed.stats.requeued) <= set(crashed.job_payloads)
+
+
+def test_worker_killed_mid_fold_resumes_checkpoint(tmp_path, clean_result):
+    # os._exit(137) fires *inside* training (second epoch boundary of
+    # each worker generation).  The requeued job resumes its lineage
+    # checkpoint in the sweep workdir, so repeated kills still make
+    # forward progress and the final metrics are bit-identical.
+    assert KILL_EXIT_CODE == 137
+    faults.install("epoch.end:nth=2:mode=kill")
+    crashed = run_sweep(parse_spec(RAW_SPEC), jobs=2, record=False,
+                        workdir=tmp_path / "sweep", max_attempts=20)
+    faults.install(None)
+    _assert_matches_clean(crashed, clean_result)
+
+
+def test_killed_sweep_resumes_to_same_final_table(tmp_path, clean_result):
+    # after a crashed-but-completed sweep, a rerun with the same workdir
+    # restores every job from the progress file and recomputes nothing
+    workdir = tmp_path / "sweep"
+    faults.install("epoch.end:nth=2:mode=kill")
+    crashed = run_sweep(parse_spec(RAW_SPEC), jobs=2, record=False,
+                        workdir=workdir, max_attempts=20)
+    faults.install(None)
+    assert not crashed.stats.failed
+    resumed = run_sweep(parse_spec(RAW_SPEC), jobs=2, record=False,
+                        workdir=workdir)
+    assert not resumed.stats.executed
+    assert len(resumed.stats.restored) == len(clean_result.job_payloads)
+    for (key, cv), (ckey, ccv) in zip(sorted(resumed.tables.items()),
+                                      sorted(clean_result.tables.items())):
+        assert key == ckey
+        assert cv.mean_std("hits@1") == ccv.mean_std("hits@1")
+        assert cv.mean_std("mrr") == ccv.mean_std("mrr")

@@ -1,4 +1,4 @@
-.PHONY: install test test-fast verify bench serve-bench train-bench train-bench-smoke obs-smoke perf-gate perf-gate-smoke faults-smoke sweep-smoke tables examples all
+.PHONY: install test test-fast verify bench serve-bench train-bench train-bench-smoke obs-smoke obs-top-smoke perf-gate perf-gate-smoke faults-smoke sweep-smoke tables examples all
 
 install:
 	pip install -e . --no-build-isolation
@@ -32,6 +32,23 @@ train-bench-smoke:
 obs-smoke:
 	PYTHONPATH=src python -m repro.cli obs-smoke --epochs 2 --out benchmarks/reports/obs_smoke
 	PYTHONPATH=src python -m repro.cli obs-report benchmarks/reports/obs_smoke/events.jsonl
+
+# tiny jobs=2 telemetered sweep, then the live dashboard one-shot:
+# machine-readable state first (CI contract), human frame second, and
+# a merged multi-process phase report from the worker trace files
+# (docs/observability.md, "Distributed tracing & live dashboards")
+obs-top-smoke:
+	rm -rf benchmarks/reports/obs_top_smoke
+	PYTHONPATH=src python -m repro.cli sweep \
+		--spec benchmarks/sweeps/smoke.toml --jobs 2 --no-record \
+		--workdir benchmarks/reports/obs_top_smoke
+	PYTHONPATH=src python -m repro.cli obs-top \
+		benchmarks/reports/obs_top_smoke --json > \
+		benchmarks/reports/obs_top_smoke/top.json
+	PYTHONPATH=src python -m repro.cli obs-top \
+		benchmarks/reports/obs_top_smoke --once
+	PYTHONPATH=src python -m repro.cli obs-report \
+		benchmarks/reports/obs_top_smoke/telemetry
 
 # run the smoke bench (appends a ledger RunRecord), then gate the run
 # against its trailing same-fingerprint baseline (docs/observability.md)

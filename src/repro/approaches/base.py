@@ -24,7 +24,8 @@ from ..alignment.evaluate import RankMetrics
 from ..autodiff.sparse import SparseGrad
 from ..faults import fault_point
 from ..kg import AlignmentSplit, EntityIndex, KGPair
-from ..obs import get_registry, peak_rss_bytes, span, tracing_enabled
+from ..obs import get_registry, peak_rss_bytes, report_progress, span, \
+    tracing_enabled
 from ..obs.ledger import record_run
 from .checkpointing import (
     CheckpointSignalHandler,
@@ -338,6 +339,11 @@ class EmbeddingApproach:
                     self.log.epochs_run = epoch
                     if tracing_enabled():
                         self._record_epoch_gauges(loss)
+                    # one dict update when a heartbeat sink is installed
+                    # (sweep workers); literally nothing otherwise
+                    report_progress(stage="train", epoch=epoch,
+                                    epochs=config.epochs,
+                                    steps=self.log.steps_run)
                     stop = False
                     if split.valid and config.valid_every and epoch % config.valid_every == 0:
                         with span("validate", epoch=epoch):

@@ -149,9 +149,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="render a telemetry events.jsonl into a per-phase breakdown",
     )
     obs_report.add_argument("events", type=Path,
-                            help="events.jsonl written by repro.obs")
+                            help="events.jsonl written by repro.obs, a "
+                                 "directory of per-process *.jsonl files, "
+                                 "or a glob (quote it)")
     obs_report.add_argument("--chrome", type=Path, default=None,
                             help="also write a chrome://tracing file here")
+
+    obs_top = commands.add_parser(
+        "obs-top",
+        help="live dashboard for a running sweep (reads the telemetry "
+             "files under its --workdir)",
+    )
+    obs_top.add_argument("workdir", type=Path,
+                         help="the sweep's --workdir (or its telemetry/ "
+                              "subdirectory)")
+    obs_top.add_argument("--once", action="store_true",
+                         help="render one frame and exit")
+    obs_top.add_argument("--json", action="store_true",
+                         help="print the machine-readable sweep state "
+                              "(implies --once)")
+    obs_top.add_argument("--interval", type=float, default=1.0,
+                         help="refresh interval in seconds (default 1.0)")
 
     obs_smoke = commands.add_parser(
         "obs-smoke",
@@ -438,17 +456,39 @@ def _cmd_serve_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_event_files(spec: Path) -> list[Path]:
+    """Expand an obs-report events argument into concrete JSONL files.
+
+    Accepts a single file, a directory (every ``*.jsonl`` inside,
+    recursing one level into ``telemetry/``-style layouts via ``**``)
+    or a glob pattern relative to the current directory.
+    """
+    if spec.is_file():
+        return [spec]
+    if spec.is_dir():
+        return sorted(p for p in spec.glob("**/*.jsonl") if p.is_file())
+    text = str(spec)
+    if any(ch in text for ch in "*?["):
+        import glob as _glob
+
+        return sorted(Path(p) for p in _glob.glob(text, recursive=True)
+                      if Path(p).is_file())
+    return []
+
+
 def _cmd_obs_report(args: argparse.Namespace) -> int:
     import json
 
     from .obs import (events_to_chrome, format_op_table, format_phase_table,
-                      load_events_tolerant)
+                      load_events_merged)
 
-    if not args.events.is_file():
-        print(f"error: {args.events} is not a file (record one with "
-              f"REPRO_BENCH_TRACE=1 or `repro obs-smoke`)", file=sys.stderr)
+    files = _resolve_event_files(args.events)
+    if not files:
+        print(f"error: {args.events} matched no event files (record one "
+              f"with REPRO_BENCH_TRACE=1 or `repro obs-smoke`)",
+              file=sys.stderr)
         return 2
-    events, skipped = load_events_tolerant(args.events)
+    events, skipped = load_events_merged(files)
     if skipped:
         print(f"warning: skipped {skipped} unreadable line(s) in "
               f"{args.events} (interrupted run?)", file=sys.stderr)
@@ -456,7 +496,9 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
         print(f"error: no readable telemetry events in {args.events}",
               file=sys.stderr)
         return 1
-    print(f"== telemetry report: {args.events} ==")
+    label = (str(args.events) if len(files) == 1
+             else f"{args.events} ({len(files)} files)")
+    print(f"== telemetry report: {label} ==")
     print(format_phase_table(events))
     op_table = format_op_table(events)
     if op_table:
@@ -481,6 +523,40 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
         print(f"\nwrote Chrome trace to {args.chrome} "
               f"(open via chrome://tracing)")
     return 0
+
+
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    import json
+    import time as _time
+
+    from .obs import format_top, read_state
+    from .obs.live import TELEMETRY_DIR
+
+    directory = args.workdir
+    if directory.name != TELEMETRY_DIR and \
+            (directory / TELEMETRY_DIR).is_dir():
+        directory = directory / TELEMETRY_DIR
+    if not directory.is_dir():
+        print(f"error: {args.workdir} has no telemetry directory (is it "
+              f"a sweep --workdir with telemetry enabled?)", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(read_state(directory), sort_keys=True, indent=2))
+        return 0
+    if args.once:
+        print(format_top(read_state(directory)))
+        return 0
+    try:
+        while True:
+            state = read_state(directory)
+            # clear screen + home, then one full frame
+            sys.stdout.write("\x1b[2J\x1b[H" + format_top(state) + "\n")
+            sys.stdout.flush()
+            if state.get("finished"):
+                return 0
+            _time.sleep(max(0.1, args.interval))
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_obs_smoke(args: argparse.Namespace) -> int:
@@ -701,6 +777,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_sweep(args)
     if args.command == "obs-report":
         return _cmd_obs_report(args)
+    if args.command == "obs-top":
+        return _cmd_obs_top(args)
     if args.command == "obs-smoke":
         return _cmd_obs_smoke(args)
     if args.command == "obs-ledger":

@@ -32,6 +32,18 @@ from .exporters import (
     JsonLinesLogger,
     render_prometheus,
 )
+from .live import (
+    ProgressSink,
+    StallDetector,
+    append_jsonl,
+    format_top,
+    get_progress,
+    open_bus,
+    read_state,
+    report_progress,
+    set_progress_sink,
+    tail_jsonl,
+)
 from .ledger import (
     RunLedger,
     RunRecord,
@@ -62,6 +74,7 @@ from .registry import (
     Histogram,
     MetricsRegistry,
     get_registry,
+    label_snapshot,
     parse_labelled_name,
     set_registry,
 )
@@ -69,6 +82,7 @@ from .report import (
     format_op_table,
     format_phase_table,
     load_events,
+    load_events_merged,
     load_events_tolerant,
     phase_breakdown,
 )
@@ -77,6 +91,8 @@ from .trace import (
     events_to_chrome,
     get_tracer,
     peak_rss_bytes,
+    peak_rss_children_bytes,
+    peak_rss_tree_bytes,
     set_tracer,
     span,
     tracing_enabled,
@@ -85,12 +101,17 @@ from .trace import (
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "get_registry", "set_registry", "parse_labelled_name",
+    "label_snapshot",
     "Tracer", "span", "get_tracer", "set_tracer", "tracing_enabled",
-    "events_to_chrome", "peak_rss_bytes",
+    "events_to_chrome", "peak_rss_bytes", "peak_rss_children_bytes",
+    "peak_rss_tree_bytes",
     "OpProfiler", "OpStat", "enable_op_profiler", "disable_op_profiler",
     "profile_ops",
-    "load_events", "load_events_tolerant", "phase_breakdown",
-    "format_phase_table", "format_op_table",
+    "load_events", "load_events_tolerant", "load_events_merged",
+    "phase_breakdown", "format_phase_table", "format_op_table",
+    "ProgressSink", "report_progress", "set_progress_sink",
+    "get_progress", "StallDetector", "read_state", "format_top",
+    "tail_jsonl", "open_bus", "append_jsonl",
     "RunLedger", "RunRecord", "record_run", "default_ledger",
     "config_fingerprint", "validate_record",
     "GateReport", "MetricPolicy", "MetricVerdict", "gate",

@@ -30,6 +30,7 @@ __all__ = [
     "get_registry",
     "set_registry",
     "parse_labelled_name",
+    "label_snapshot",
 ]
 
 # Default histogram buckets: roughly log-spaced seconds, wide enough for
@@ -254,6 +255,26 @@ def parse_labelled_name(key: str) -> tuple[str, dict[str, str]]:
         label, _, value = part.partition("=")
         labels[label] = value
     return name, labels
+
+
+def label_snapshot(snapshot: dict, **labels) -> dict:
+    """A copy of a registry snapshot with extra labels on every metric.
+
+    The sweep scheduler uses this to stamp each worker's returned
+    snapshot with ``worker="<idx>"`` before merging, so per-worker
+    series stay distinguishable in the merged registry (and therefore
+    in the Prometheus export) instead of collapsing into one.  Metrics
+    that already carry one of the new labels keep their existing value.
+    """
+    out: dict[str, dict] = {}
+    for section, metrics in snapshot.items():
+        relabelled = {}
+        for key, data in metrics.items():
+            name, existing = parse_labelled_name(key)
+            merged = {**{k: str(v) for k, v in labels.items()}, **existing}
+            relabelled[_labelled_name(name, merged)] = data
+        out[section] = relabelled
+    return out
 
 
 class MetricsRegistry:

@@ -11,8 +11,8 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-__all__ = ["load_events", "load_events_tolerant", "phase_breakdown",
-           "format_phase_table", "format_op_table"]
+__all__ = ["load_events", "load_events_tolerant", "load_events_merged",
+           "phase_breakdown", "format_phase_table", "format_op_table"]
 
 
 def load_events(path) -> list[dict]:
@@ -62,6 +62,39 @@ def load_events_tolerant(path) -> tuple[list[dict], int]:
             skipped += 1
             continue
         events.append(event)
+    return events, skipped
+
+
+def load_events_merged(paths) -> tuple[list[dict], int]:
+    """Merge multi-process JSONL event files into one ordered stream.
+
+    Takes the per-worker files a sweep's telemetry writes (each process
+    appends to its own file, so no single file is totally ordered) and
+    returns one list sorted by ``(trace_id, ts)`` — grouping each
+    distributed trace together and time-ordering the spans within it.
+    Events without those keys sort first under the empty trace.  Each
+    file is read tolerantly: a worker killed mid-write leaves a torn
+    trailing line, which is skipped and counted, not fatal.  Span ids
+    from events stamped with a ``pid`` are namespaced per process —
+    every worker counts its local spans from 1, and colliding ids would
+    corrupt :func:`phase_breakdown`'s parent/child accounting.  Returns
+    ``(events, skipped_lines)``.
+    """
+    events: list[dict] = []
+    skipped = 0
+    for path in paths:
+        loaded, bad = load_events_tolerant(path)
+        for event in loaded:
+            pid = event.get("pid")
+            if pid is not None and event.get("type") == "span":
+                event = dict(event)
+                event["id"] = f"{pid}.{event['id']}"
+                if event.get("parent_id") is not None:
+                    event["parent_id"] = f"{pid}.{event['parent_id']}"
+            events.append(event)
+        skipped += bad
+    events.sort(key=lambda e: (str(e.get("trace_id", "")),
+                               float(e.get("ts_unix", e.get("ts", 0.0)))))
     return events, skipped
 
 

@@ -31,7 +31,22 @@ __all__ = [
     "set_tracer",
     "tracing_enabled",
     "peak_rss_bytes",
+    "peak_rss_children_bytes",
+    "peak_rss_tree_bytes",
 ]
+
+
+def _ru_maxrss_bytes(who_name: str) -> int:
+    """``ru_maxrss`` of ``RUSAGE_SELF`` / ``RUSAGE_CHILDREN``, in bytes."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-unix
+        return 0
+    peak = resource.getrusage(getattr(resource, who_name)).ru_maxrss
+    # Linux reports kilobytes, macOS reports bytes.
+    if sys.platform != "darwin":
+        peak *= 1024
+    return int(peak)
 
 
 def peak_rss_bytes() -> int:
@@ -39,15 +54,30 @@ def peak_rss_bytes() -> int:
 
     Uses ``getrusage`` (stdlib); returns 0 on platforms without it.
     """
-    try:
-        import resource
-    except ImportError:  # pragma: no cover - non-unix
-        return 0
-    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    # Linux reports kilobytes, macOS reports bytes.
-    if sys.platform != "darwin":
-        peak *= 1024
-    return int(peak)
+    return _ru_maxrss_bytes("RUSAGE_SELF")
+
+
+def peak_rss_children_bytes() -> int:
+    """High-water mark over all *reaped* child processes, in bytes.
+
+    ``RUSAGE_SELF`` stops at the process boundary, so a pool parent that
+    forked its heavy work out reports a tiny peak while its workers ate
+    gigabytes.  This is the ``RUSAGE_CHILDREN`` complement: the largest
+    peak RSS any waited-for child reached (0 before any child exits).
+    """
+    return _ru_maxrss_bytes("RUSAGE_CHILDREN")
+
+
+def peak_rss_tree_bytes() -> int:
+    """``max(self, reaped children)`` — what a pool parent should report.
+
+    For a single-process run this equals :func:`peak_rss_bytes`; for a
+    scheduler parent it also sees the workers it already reaped.  Live
+    (unreaped) workers are invisible here — their heartbeat-reported
+    RSS (``repro.orchestrate.telemetry``) is the per-worker source of
+    truth while they run.
+    """
+    return max(peak_rss_bytes(), peak_rss_children_bytes())
 
 
 class _NullSpan:
@@ -132,17 +162,29 @@ _TRACE_COUNTER = itertools.count(1)
 
 
 class Tracer:
-    """Collects span events for one run."""
+    """Collects span events for one run.
+
+    ``trace_id`` may be supplied to join a distributed trace started in
+    another process (a sweep parent hands its own trace id to every
+    worker); ``parent_span_id`` then names the remote span the first
+    top-level local span should hang under when the event files are
+    stitched back together.  ``epoch_unix`` anchors the tracer's
+    relative ``ts`` values to the unix epoch so events from different
+    processes can be placed on one shared timeline.
+    """
 
     def __init__(self, clock=time.perf_counter, cpu_clock=time.process_time,
-                 rss=peak_rss_bytes):
+                 rss=peak_rss_bytes, *, trace_id: str | None = None,
+                 parent_span_id: int | None = None):
         self._clock = clock
         self._cpu_clock = cpu_clock
         self._rss = rss
         self._epoch = clock()
         self._stack: list[_Span] = []
         self._next_id = 0
-        self.trace_id = f"{os.getpid():x}-{next(_TRACE_COUNTER)}"
+        self.trace_id = trace_id or f"{os.getpid():x}-{next(_TRACE_COUNTER)}"
+        self.parent_span_id = parent_span_id
+        self.epoch_unix = time.time()
         self.events: list[dict] = []
 
     # ------------------------------------------------------------------
@@ -183,14 +225,22 @@ class Tracer:
             json.dump(self.chrome_trace(), handle, sort_keys=True)
 
 
-def events_to_chrome(events: list[dict]) -> dict:
+def events_to_chrome(events: list[dict], *, default_pid: int | None = None,
+                     process_names: dict[int, str] | None = None) -> dict:
     """Convert span events to the Chrome Trace Event Format.
 
     Spans become complete (``"ph": "X"``) events with microsecond
     timestamps; the result loads in ``chrome://tracing`` and Perfetto.
+
+    Multi-process traces (the sweep stitcher) stamp each event with its
+    originating ``pid``/``tid``; events without one fall back to
+    ``default_pid`` (this process by default).  ``process_names`` maps
+    pid → human label (e.g. ``{1234: "worker 0"}``) and emits the
+    ``process_name`` metadata rows Perfetto uses to title each track.
     """
     trace_events = []
-    pid = os.getpid()
+    own_pid = default_pid if default_pid is not None else os.getpid()
+    seen_pids: set[int] = set()
     for event in events:
         if event.get("type") != "span":
             continue
@@ -199,18 +249,32 @@ def events_to_chrome(events: list[dict]) -> dict:
         rss = event.get("rss_peak_delta_bytes", 0)
         if rss:
             args["rss_peak_delta_kb"] = rss // 1024
+        pid = int(event.get("pid", own_pid))
+        seen_pids.add(pid)
         trace_events.append({
             "name": event["name"],
             "ph": "X",
             "ts": event["ts"] * 1e6,
             "dur": event["dur_s"] * 1e6,
             "pid": pid,
-            "tid": 1,
+            "tid": int(event.get("tid", 1)),
             "cat": "repro",
             "args": args,
         })
     trace_events.sort(key=lambda e: e["ts"])
-    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+    metadata = []
+    for pid in sorted(seen_pids):
+        name = (process_names or {}).get(pid)
+        if name is None and process_names is None and pid == own_pid:
+            continue  # single-process trace: no row titles needed
+        metadata.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": name or f"pid {pid}"},
+        })
+    return {"traceEvents": metadata + trace_events, "displayTimeUnit": "ms"}
 
 
 # ---------------------------------------------------------------------------

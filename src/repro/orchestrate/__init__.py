@@ -16,6 +16,10 @@ afternoon into a budgeted, crash-safe, parallel sweep:
 * :mod:`~repro.orchestrate.sweep` — the driver: TOML/JSON sweep specs,
   grid expansion, the tune-then-cross-validate pipeline and ledger
   recording.  See ``docs/orchestration.md``.
+* :mod:`~repro.orchestrate.telemetry` — distributed tracing + live
+  telemetry for sweeps: per-worker heartbeat buses, stall detection and
+  the stitched multi-process Chrome trace.  See
+  ``docs/observability.md``.
 """
 
 from .halving import HalvingSchedule, rung_budgets, select_survivors
@@ -25,6 +29,9 @@ from .progress import PROGRESS_FILE, SweepProgress
 from .scheduler import ScheduleStats, run_jobs
 from .sweep import (SweepResult, SweepSpec, expand_grid, load_spec,
                     parse_spec, payload_metrics, run_sweep)
+from .telemetry import (SweepTelemetry, WorkerTelemetry,
+                        WorkerTelemetryConfig, install_worker_telemetry,
+                        stitch_events)
 
 __all__ = [
     "HalvingSchedule",
@@ -35,6 +42,11 @@ __all__ = [
     "SweepProgress",
     "SweepResult",
     "SweepSpec",
+    "SweepTelemetry",
+    "WorkerTelemetry",
+    "WorkerTelemetryConfig",
+    "install_worker_telemetry",
+    "stitch_events",
     "dataset_key",
     "derive_seed",
     "execute_job",

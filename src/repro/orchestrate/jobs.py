@@ -76,6 +76,13 @@ class JobSpec:
     rung: int = -1
     hits_at: tuple = (1, 5, 10)
     base_seed: int = 0
+    #: Distributed-trace context (sweep root), stamped by the sweep
+    #: driver when telemetry is on.  Deliberately EXCLUDED from
+    #: ``payload()`` and the lineage: trace ids change every run, and
+    #: job identity (ids, seeds, ledger fingerprints, bit-identity
+    #: comparisons) must not.
+    trace_id: str = ""
+    parent_span_id: int = 0
 
     def __post_init__(self):
         unknown = set(self.config) - _CONFIG_FIELDS
@@ -109,10 +116,19 @@ class JobSpec:
         }
 
     def payload(self) -> dict:
-        """The canonical plain-data form (job id / ledger / progress)."""
+        """The canonical plain-data form (job id / ledger / progress).
+
+        Trace context (``trace_id`` / ``parent_span_id``) is not part
+        of the payload — see the field comment above.
+        """
         return {**self._lineage_payload(),
                 "epochs": self.epochs, "stage": self.stage,
                 "rung": self.rung}
+
+    def with_trace(self, trace_id: str, parent_span_id: int) -> "JobSpec":
+        """The same job carrying the sweep's trace context."""
+        return replace(self, trace_id=trace_id,
+                       parent_span_id=parent_span_id)
 
     @property
     def job_id(self) -> str:

@@ -27,6 +27,7 @@ as ``epoch.end``) with ``mode=kill`` to prove the requeue path.
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import os
 import queue as queue_module
@@ -36,6 +37,7 @@ from dataclasses import dataclass, field
 
 from ..faults import fault_point
 from ..obs import MetricsRegistry, get_registry, set_registry, span
+from ..obs.registry import label_snapshot
 
 __all__ = ["ScheduleStats", "run_jobs"]
 
@@ -60,8 +62,32 @@ class ScheduleStats:
                 f"{len(self.failed)} failed")
 
 
-def _worker_main(task_q, result_q, runner, runner_kwargs) -> None:
-    """Worker loop: take a spec, run it, ship the payload + metrics."""
+def _job_attrs(spec) -> dict:
+    """Attributes of the per-job root span (tolerant of bare specs)."""
+    attrs = {"job_id": spec.job_id}
+    describe = getattr(spec, "describe", None)
+    if callable(describe):
+        attrs["job"] = describe()
+    return attrs
+
+
+def _worker_main(task_q, result_q, runner, runner_kwargs,
+                 telemetry_cfg=None) -> None:
+    """Worker loop: take a spec, run it, ship the payload + metrics.
+
+    With ``telemetry_cfg`` (a :class:`~repro.orchestrate.telemetry.
+    WorkerTelemetryConfig`) the worker joins the sweep's distributed
+    trace — a fresh tracer carrying the sweep's ``trace_id`` wraps each
+    job in a ``job`` span — and runs the heartbeat thread that appends
+    to this worker's JSONL bus.  Telemetry only observes; the job
+    computation (seeds, scheduling, payloads) is untouched, preserving
+    jobs=N ≡ jobs=1 bit-identity.
+    """
+    telemetry = None
+    if telemetry_cfg is not None:
+        from .telemetry import install_worker_telemetry
+
+        telemetry = install_worker_telemetry(telemetry_cfg, task_q=task_q)
     while True:
         spec = task_q.get()
         if spec is None:
@@ -69,14 +95,23 @@ def _worker_main(task_q, result_q, runner, runner_kwargs) -> None:
         # The crash-injection site: mode=kill here simulates a worker
         # dying the instant it picks up a job.
         fault_point("sweep.job")
+        if telemetry is not None:
+            telemetry.job_started(spec.job_id)
         set_registry(MetricsRegistry())
+        ok = False
         try:
-            payload = runner(spec, **runner_kwargs)
+            with span("job", **_job_attrs(spec)):
+                payload = runner(spec, **runner_kwargs)
             snapshot = get_registry().snapshot(include_raw=True)
             result_q.put(("done", spec.job_id, payload, snapshot))
+            ok = True
         except Exception as error:  # noqa: BLE001 — forwarded to parent
             result_q.put(("error", spec.job_id,
                           f"{type(error).__name__}: {error}"))
+        if telemetry is not None:
+            telemetry.job_finished(spec.job_id, ok)
+    if telemetry is not None:
+        telemetry.stop()
 
 
 def run_jobs(
@@ -90,6 +125,7 @@ def run_jobs(
     on_complete=None,
     already: dict | None = None,
     max_attempts: int = 3,
+    telemetry=None,
 ) -> tuple[dict, ScheduleStats]:
     """Run every spec and return ``(results, stats)``.
 
@@ -105,6 +141,13 @@ def run_jobs(
     ``jobs=1`` executes inline (the bit-exact reference path);
     ``jobs>1`` forks that many workers.  Worker crashes are survived by
     requeueing the torn job (see module docstring).
+
+    ``telemetry`` (a :class:`~repro.orchestrate.telemetry.
+    SweepTelemetry`) enables the live observability path: job-state
+    transitions stream to the parent event bus, each worker is spawned
+    with the sweep's trace context and a heartbeat loop, the drain loop
+    polls for stalled workers, and merged worker snapshots gain
+    ``worker="<idx>"`` labels so per-worker series survive the merge.
     """
     registry = registry if registry is not None else get_registry()
     runner_kwargs = runner_kwargs or {}
@@ -124,37 +167,60 @@ def run_jobs(
         outcome: registry.counter(f"sweep.jobs_{outcome}", sweep=label)
         for outcome in ("completed", "failed", "requeued")
     }
+    if telemetry is not None:
+        for spec in pending:
+            telemetry.job_event(spec, "enqueued")
+        for job_id in stats.restored:
+            telemetry.job_event(seen[job_id], "restored")
 
-    def complete(spec, payload, snapshot=None) -> None:
+    def complete(spec, payload, snapshot=None, worker=None) -> None:
         results[spec.job_id] = payload
         stats.executed.append(spec.job_id)
         counters["completed"].inc()
+        if worker is not None:
+            # per-worker series survive the merge (Prometheus export
+            # exposes `sweep.jobs_completed{..., worker="<idx>"}`)
+            registry.counter("sweep.jobs_completed", sweep=label,
+                             worker=str(worker)).inc()
+            if snapshot is not None:
+                snapshot = label_snapshot(snapshot, worker=str(worker))
         if snapshot is not None:
             registry.merge_snapshot(snapshot)
+        if telemetry is not None:
+            telemetry.job_event(spec, "done", worker=worker)
         if on_complete is not None:
             on_complete(spec, payload)
 
-    def fail(spec, message) -> None:
+    def fail(spec, message, worker=None) -> None:
         stats.failed[spec.job_id] = message
         counters["failed"].inc()
+        if worker is not None:
+            registry.counter("sweep.jobs_failed", sweep=label,
+                             worker=str(worker)).inc()
+        if telemetry is not None:
+            telemetry.job_event(spec, "failed", worker=worker)
 
     with span("sweep.schedule", label=label, jobs=jobs,
               n_jobs=len(pending), n_restored=len(stats.restored)):
         if jobs <= 1 or len(pending) <= 1:
             for spec in pending:
                 fault_point("sweep.job")
+                if telemetry is not None:
+                    telemetry.job_event(spec, "running")
                 try:
-                    complete(spec, runner(spec, **runner_kwargs))
+                    with span("job", **_job_attrs(spec)):
+                        payload = runner(spec, **runner_kwargs)
+                    complete(spec, payload)
                 except Exception as error:  # noqa: BLE001
                     fail(spec, f"{type(error).__name__}: {error}")
             return results, stats
         _run_pool(pending, jobs, runner, runner_kwargs, complete, fail,
-                  stats, counters, max_attempts)
+                  stats, counters, max_attempts, telemetry)
     return results, stats
 
 
 def _run_pool(pending, jobs, runner, runner_kwargs, complete, fail,
-              stats, counters, max_attempts) -> None:
+              stats, counters, max_attempts, telemetry=None) -> None:
     """The parallel path: a fork-based pool with crash requeueing."""
     methods = multiprocessing.get_all_start_methods()
     if "fork" not in methods:  # pragma: no cover — non-POSIX fallback
@@ -175,18 +241,30 @@ def _run_pool(pending, jobs, runner, runner_kwargs, complete, fail,
     workers: dict[int, tuple] = {}  # pid -> (process, task_q)
     assigned: dict[int, str | None] = {}  # pid -> in-flight job id
     completed_by: dict[int, int] = {}  # pid -> jobs finished by worker
+    worker_idx: dict[int, int] = {}  # pid -> stable worker index
+    idx_counter = itertools.count()
 
     def spawn() -> None:
+        # telemetry owns index allocation so indices stay unique across
+        # every pool (rung batches, final CV, crash replacements) of
+        # one sweep; the local counter covers the untelemetered case
+        idx = (telemetry.allocate_worker() if telemetry is not None
+               else next(idx_counter))
         task_q = ctx.Queue()
+        telemetry_cfg = (telemetry.worker_config(idx)
+                         if telemetry is not None else None)
         process = ctx.Process(
             target=_worker_main,
-            args=(task_q, result_q, runner, runner_kwargs),
+            args=(task_q, result_q, runner, runner_kwargs, telemetry_cfg),
             daemon=True,
         )
         process.start()
         workers[process.pid] = (process, task_q)
         assigned[process.pid] = None
         completed_by[process.pid] = 0
+        worker_idx[process.pid] = idx
+        if telemetry is not None:
+            telemetry.worker_spawned(idx, process.pid)
 
     def dispatch() -> None:
         """Hand pending jobs to idle workers (assignment before send)."""
@@ -198,6 +276,9 @@ def _run_pool(pending, jobs, runner, runner_kwargs, complete, fail,
                 attempts[spec.job_id] += 1
                 assigned[pid] = spec.job_id
                 task_q.put(spec)
+                if telemetry is not None:
+                    telemetry.job_event(spec, "running",
+                                        worker=worker_idx[pid])
 
     def requeue_or_fail(job_id: str, reason: str, *,
                         charge: bool = True) -> None:
@@ -221,6 +302,8 @@ def _run_pool(pending, jobs, runner, runner_kwargs, complete, fail,
             return
         stats.requeued.append(job_id)
         counters["requeued"].inc()
+        if telemetry is not None:
+            telemetry.job_event(specs_by_id[job_id], "requeued")
         pending.appendleft(specs_by_id[job_id])
 
     for _ in range(min(jobs, len(pending))):
@@ -240,15 +323,18 @@ def _run_pool(pending, jobs, runner, runner_kwargs, complete, fail,
             while True:
                 if drained:
                     kind, job_id, *rest = message
+                    source = None
                     for pid, inflight in assigned.items():
                         if inflight == job_id:
                             assigned[pid] = None
+                            source = worker_idx.get(pid)
                             if kind == "done":
                                 completed_by[pid] += 1
                     if job_id in outstanding:
                         if kind == "done":
                             payload, snapshot = rest
-                            complete(specs_by_id[job_id], payload, snapshot)
+                            complete(specs_by_id[job_id], payload, snapshot,
+                                     worker=source)
                             outstanding.discard(job_id)
                         else:  # "error": retry, then fail
                             requeue_or_fail(job_id, rest[0])
@@ -257,6 +343,20 @@ def _run_pool(pending, jobs, runner, runner_kwargs, complete, fail,
                     drained = True
                 except queue_module.Empty:
                     break
+
+            if telemetry is not None:
+                # Tail worker heartbeat buses: updates per-worker gauges
+                # and flags stalled workers (counter + warning + event).
+                telemetry.poll()
+                if getattr(telemetry, "kill_stalled", False):
+                    # Opt-in escalation: a stalled-but-alive worker is
+                    # terminated so its torn job feeds the normal
+                    # death-requeue machinery below.
+                    for pid in list(workers):
+                        if worker_idx.get(pid) in telemetry.stalled_workers:
+                            process, _ = workers[pid]
+                            if process.is_alive():
+                                process.terminate()
 
             for pid in list(workers):
                 process, task_q = workers[pid]
@@ -267,6 +367,9 @@ def _run_pool(pending, jobs, runner, runner_kwargs, complete, fail,
                 torn = assigned.pop(pid, None)
                 was_fresh = completed_by.pop(pid, 0) == 0
                 del workers[pid]
+                if telemetry is not None:
+                    telemetry.worker_died(worker_idx.get(pid, -1), pid,
+                                          process.exitcode)
                 if torn is not None:
                     requeue_or_fail(
                         torn,

@@ -44,6 +44,7 @@ from __future__ import annotations
 import itertools
 import json
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -56,6 +57,7 @@ from .halving import HalvingSchedule
 from .jobs import JobSpec, dataset_key, execute_job, load_dataset
 from .progress import SweepProgress
 from .scheduler import ScheduleStats, run_jobs
+from .telemetry import SweepTelemetry
 
 __all__ = ["SweepSpec", "SweepResult", "load_spec", "parse_spec",
            "run_sweep", "expand_grid", "payload_metrics"]
@@ -272,6 +274,9 @@ def run_sweep(
     workdir: Path | str | None = None,
     record: bool = True,
     max_attempts: int = 3,
+    telemetry: bool = True,
+    heartbeat_interval: float = 1.0,
+    stall_intervals: int = 5,
 ) -> SweepResult:
     """Run one sweep end to end; see the module docstring.
 
@@ -280,6 +285,16 @@ def run_sweep(
     with the same workdir restores completed jobs instead of
     recomputing them.  ``record=False`` suppresses ledger records (the
     ledger is also a no-op unless ``REPRO_LEDGER_PATH`` is set).
+
+    With a ``workdir`` (and ``telemetry=True``, the default) the sweep
+    also runs the live-telemetry stack (docs/observability.md): a
+    ``<workdir>/telemetry/`` directory carries the parent event bus,
+    per-worker heartbeat files (sampled every ``heartbeat_interval``
+    seconds; a worker silent for ``stall_intervals`` intervals is
+    flagged stalled), and the stitched distributed Chrome trace —
+    watch it live with ``repro obs-top <workdir>``.  Telemetry only
+    observes: results remain bit-identical to a serial, untelemetered
+    run.
     """
     started = time.perf_counter()
     registry = get_registry()
@@ -292,6 +307,14 @@ def run_sweep(
         progress = SweepProgress(workdir, spec.payload())
         restored = progress.load()
 
+    sweep_telemetry: SweepTelemetry | None = None
+    if telemetry and workdir is not None:
+        sweep_telemetry = SweepTelemetry(
+            workdir, sweep_id=spec.sweep_id, jobs=jobs, registry=registry,
+            heartbeat_interval=heartbeat_interval,
+            stall_intervals=stall_intervals,
+        )
+
     def on_complete(job_spec: JobSpec, payload: dict) -> None:
         if progress is not None:
             progress.record(job_spec.job_id, payload)
@@ -299,12 +322,16 @@ def run_sweep(
             _record_job(spec, job_spec, payload)
 
     def schedule(batch: list[JobSpec]) -> dict[str, dict]:
+        if sweep_telemetry is not None:
+            batch = [job.with_trace(sweep_telemetry.trace_id,
+                                    sweep_telemetry.root_span_id)
+                     for job in batch]
         payloads, stats = run_jobs(
             batch, jobs=jobs, runner=execute_job,
             runner_kwargs={"pairs": pairs, "workdir": workdir},
             label=spec.sweep_id, registry=registry,
             on_complete=on_complete, already=restored,
-            max_attempts=max_attempts,
+            max_attempts=max_attempts, telemetry=sweep_telemetry,
         )
         result.stats.executed += stats.executed
         result.stats.restored += stats.restored
@@ -320,9 +347,10 @@ def run_sweep(
         result.job_payloads.update(payloads)
         return payloads
 
-    with span("sweep", sweep_id=spec.sweep_id, jobs=jobs,
-              n_datasets=len(spec.datasets),
-              n_approaches=len(spec.approaches)):
+    with (sweep_telemetry if sweep_telemetry is not None else nullcontext()), \
+            span("sweep", sweep_id=spec.sweep_id, jobs=jobs,
+                 n_datasets=len(spec.datasets),
+                 n_approaches=len(spec.approaches)):
         # Datasets are built once in the parent; forked workers inherit
         # them instead of regenerating per job.
         pairs = {dataset_key(ds): load_dataset(ds) for ds in spec.datasets}
@@ -372,18 +400,23 @@ def run_sweep(
 
     result.seconds = time.perf_counter() - started
     if record:
+        scalars = {
+            "jobs_executed": len(result.stats.executed),
+            "jobs_restored": len(result.stats.restored),
+            "jobs_requeued": len(result.stats.requeued),
+            "jobs_failed": len(result.stats.failed),
+            "candidates_pruned": result.n_pruned,
+            "sweep_seconds": result.seconds,
+        }
+        if sweep_telemetry is not None:
+            # per-worker peak RSS, heartbeat coverage, stall count —
+            # obs-gate can guard parallel-efficiency regressions on these
+            scalars.update(sweep_telemetry.scalars())
         record_run(
             "sweep", f"{spec.name}/summary",
             config={**spec.payload(), "sweep_id": spec.sweep_id},
             fingerprint=config_fingerprint(spec.payload()),
-            scalars={
-                "jobs_executed": len(result.stats.executed),
-                "jobs_restored": len(result.stats.restored),
-                "jobs_requeued": len(result.stats.requeued),
-                "jobs_failed": len(result.stats.failed),
-                "candidates_pruned": result.n_pruned,
-                "sweep_seconds": result.seconds,
-            },
+            scalars=scalars,
             registry=registry,
         )
     return result

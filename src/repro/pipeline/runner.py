@@ -21,7 +21,7 @@ from ..approaches.checkpointing import _log_to_dict, restore_log_fields
 from ..faults import atomic_write_json, fault_point
 from ..fingerprint import config_fingerprint
 from ..kg import AlignmentSplit, KGPair
-from ..obs import span
+from ..obs import peak_rss_tree_bytes, span
 from ..obs.ledger import record_run
 
 __all__ = ["FoldResult", "CVResult", "run_fold", "cross_validate",
@@ -189,10 +189,12 @@ def cross_validate(
     result = CVResult(name=name, dataset=pair.name)
     if completed:
         result.status = "resumed"
+    pool_parent = False
     with span("cross_validate", approach=name, dataset=pair.name,
               n_folds=n_folds, jobs=jobs):
         pending = [k for k in range(1, n_folds + 1) if k not in completed]
         if jobs > 1 and len(pending) > 1:
+            pool_parent = True
             _parallel_folds(
                 pending, completed, factory=factory, pair=pair,
                 splits=splits, hits_at=hits_at, jobs=jobs,
@@ -223,7 +225,9 @@ def cross_validate(
     # set) so `repro obs-gate` can compare future CV runs against it.
     record_run("cv", f"{name}/{pair.name}",
                config={**config, "status": result.status},
-               scalars=_cv_scalars(result, hits_at) if result.folds else {})
+               scalars=(_cv_scalars(result, hits_at,
+                                    pool_parent=pool_parent)
+                        if result.folds else {}))
     return result
 
 
@@ -379,13 +383,24 @@ def _parallel_folds(pending, completed, *, factory, pair, splits, hits_at,
         raise RuntimeError(f"cross-validation folds failed: {details}")
 
 
-def _cv_scalars(result: CVResult, hits_at: tuple[int, ...]) -> dict:
-    """The headline CVResult numbers the regression gate understands."""
+def _cv_scalars(result: CVResult, hits_at: tuple[int, ...],
+                pool_parent: bool = False) -> dict:
+    """The headline CVResult numbers the regression gate understands.
+
+    ``pool_parent`` marks runs that fanned folds out over worker
+    processes: per-fold RSS then comes from the workers (their
+    ``RUSAGE_SELF`` at ``fit`` time), but the run's true peak must also
+    cover the parent itself and any worker growth after ``fit`` — so the
+    parent folds in ``max(self, children)`` via ``RUSAGE_CHILDREN``.
+    """
+    peak_rss = float(result.peak_rss_bytes)
+    if pool_parent:
+        peak_rss = float(max(int(peak_rss), peak_rss_tree_bytes()))
     scalars = {
         "train_seconds": result.train_seconds,
         "steps_per_second": result.steps_per_second,
         "mean_epoch_seconds": result.mean_epoch_seconds,
-        "peak_rss_bytes": float(result.peak_rss_bytes),
+        "peak_rss_bytes": peak_rss,
     }
     for k in hits_at:
         mean, _ = result.mean_std(f"hits@{k}")

@@ -1,4 +1,4 @@
-.PHONY: install test test-fast verify bench serve-bench train-bench train-bench-smoke obs-smoke obs-top-smoke perf-gate perf-gate-smoke faults-smoke sweep-smoke tables examples all
+.PHONY: install test test-fast verify bench serve-bench train-bench train-bench-smoke obs-smoke obs-top-smoke perf-gate perf-gate-smoke quality-smoke faults-smoke sweep-smoke tables examples all
 
 install:
 	pip install -e . --no-build-isolation
@@ -51,15 +51,33 @@ obs-top-smoke:
 		benchmarks/reports/obs_top_smoke/telemetry
 
 # run the smoke bench (appends a ledger RunRecord), then gate the run
-# against its trailing same-fingerprint baseline (docs/observability.md)
+# against its trailing same-fingerprint baseline; the quality leg runs
+# the probe/sentinel smoke (which records a CV with hits@k scalars) and
+# gates that record too, so Hits@1 regressions fail alongside slowdowns
+# (docs/observability.md)
 perf-gate:
 	REPRO_BENCH_TRACE=1 PYTHONPATH=src python benchmarks/bench_train_throughput.py --smoke
+	PYTHONPATH=src python -m repro.cli obs-gate --ledger benchmarks/reports/ledger.jsonl
+	rm -rf benchmarks/reports/quality_smoke
+	REPRO_LEDGER_PATH=benchmarks/reports/ledger.jsonl PYTHONPATH=src \
+		python -m repro.cli quality-smoke --out benchmarks/reports/quality_smoke
 	PYTHONPATH=src python -m repro.cli obs-gate --ledger benchmarks/reports/ledger.jsonl
 
 # fast pytest covering the same loop: seed a fresh ledger, re-run,
 # assert the gate passes on jitter and fails on an injected 2x slowdown
 perf-gate-smoke:
 	PYTHONPATH=src python -m pytest -q tests/test_obs_gate_smoke.py
+
+# model-quality smoke: a deliberately diverging run must be aborted by
+# the sentinel, a probed 2-fold CV must record per-epoch quality curves,
+# and the conformance report must print against the checked-in paper
+# tables; then the fast pytest covering probes, sentinels, conformance
+# exit codes and the injected-Hits@1-drop gate (docs/observability.md)
+quality-smoke:
+	rm -rf benchmarks/reports/quality_smoke
+	REPRO_LEDGER_PATH=benchmarks/reports/ledger.jsonl PYTHONPATH=src \
+		python -m repro.cli quality-smoke --out benchmarks/reports/quality_smoke
+	PYTHONPATH=src python -m pytest -q tests/test_quality_smoke.py
 
 # crash-replay suite: injected kills/torn writes at every persistence
 # site, then resume, asserting bit-identical training (docs/robustness.md)

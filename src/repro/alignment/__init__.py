@@ -2,7 +2,14 @@
 
 from .blocking import HyperplaneLSH, blocked_greedy_alignment
 from .streaming import streaming_greedy_alignment, topk_similarity
-from .evaluate import PRF, RankMetrics, prf_metrics, rank_metrics
+from .evaluate import (
+    PRF,
+    RankMetrics,
+    prf_metrics,
+    rank_metrics,
+    sample_candidate_indices,
+    sampled_rank_metrics,
+)
 from .inference import (
     INFERENCE_STRATEGIES,
     greedy_alignment,
@@ -26,6 +33,7 @@ __all__ = [
     "greedy_alignment", "stable_marriage", "hungarian_alignment",
     "heuristic_matching", "infer_alignment", "INFERENCE_STRATEGIES",
     "rank_metrics", "RankMetrics", "prf_metrics", "PRF",
+    "sample_candidate_indices", "sampled_rank_metrics",
     "HyperplaneLSH", "blocked_greedy_alignment",
     "topk_similarity", "streaming_greedy_alignment",
 ]

@@ -12,7 +12,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["RankMetrics", "rank_metrics", "prf_metrics", "PRF"]
+__all__ = [
+    "RankMetrics",
+    "rank_metrics",
+    "sample_candidate_indices",
+    "sampled_rank_metrics",
+    "prf_metrics",
+    "PRF",
+]
 
 
 @dataclass(frozen=True)
@@ -59,6 +66,55 @@ def rank_metrics(
         mrr=float((1.0 / ranks).mean()),
         n=len(gold),
     )
+
+
+def sample_candidate_indices(
+    n: int,
+    sample: int,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Sorted row indices of a sampled-candidate evaluation subset.
+
+    Returns all ``n`` indices when ``sample`` is non-positive or at least
+    ``n``, otherwise a sorted ``sample``-sized choice without replacement.
+    Sorting keeps the subset order-stable so downstream metrics do not
+    depend on the draw order.
+    """
+    if n <= 0:
+        return np.zeros(0, dtype=np.int64)
+    if sample <= 0 or sample >= n:
+        return np.arange(n, dtype=np.int64)
+    if rng is None:
+        rng = np.random.default_rng(0)
+    return np.sort(rng.choice(n, size=sample, replace=False)).astype(np.int64)
+
+
+def sampled_rank_metrics(
+    similarity_fn,
+    pairs: list[tuple[str, str]],
+    *,
+    sample: int,
+    rng: np.random.Generator | None = None,
+    hits_at: tuple[int, ...] = (1, 5, 10),
+) -> RankMetrics:
+    """Rank metrics on a sampled subset of gold pairs — O(sample²).
+
+    Each sampled source ranks against the sampled targets only (the
+    compact candidate protocol restricted to the subset), so a streaming
+    probe costs ``sample × sample`` similarity entries instead of the
+    full |test|² matrix.  ``similarity_fn(sources, targets)`` must return
+    the similarity matrix between the named entities (for an approach,
+    pass ``approach.similarity_between``).
+    """
+    indices = sample_candidate_indices(len(pairs), sample, rng)
+    subset = [pairs[int(i)] for i in indices]
+    if not subset:
+        return RankMetrics(hits={m: 0.0 for m in hits_at}, mr=0.0, mrr=0.0, n=0)
+    sources = [a for a, _ in subset]
+    targets = [b for _, b in subset]
+    similarity = similarity_fn(sources, targets)
+    gold = np.arange(len(subset), dtype=np.int64)
+    return rank_metrics(similarity, gold, hits_at=hits_at)
 
 
 @dataclass(frozen=True)

@@ -64,6 +64,20 @@ class ApproachConfig:
     # restricted to the rows actually updated this epoch (O(touched)
     # instead of O(|E|)); off by default to preserve the paper protocol.
     lazy_normalize: bool = False
+    # Streaming quality probes (docs/observability.md): every
+    # ``probe_every`` epochs fit() scores Hits@1/5/10 + MRR on a sampled
+    # validation subset plus embedding/gradient health; 0 disables.
+    # Probes draw from their own RNG stream keyed by (seed, epoch), so a
+    # probe-on run stays bit-identical to a probe-off run.
+    probe_every: int = 0
+    probe_sample: int = 64
+    # Divergence sentinels: abort at the epoch boundary (status
+    # "diverged") on non-finite loss/params, loss EWMA explosion, or —
+    # when probes run — a probe-Hits@1 collapse/stagnation.
+    sentinel: bool = False
+    sentinel_loss_factor: float = 10.0
+    sentinel_hits_drop: float = 0.5
+    sentinel_patience: int = 0  # stagnant probes before abort; 0 disables
 
 
 @dataclass(frozen=True)
@@ -108,11 +122,20 @@ class TrainingLog:
     # (bench_fig8_running_time) read these instead of re-timing.
     epoch_seconds: list[float] = field(default_factory=list)
     peak_rss_bytes: int = 0
+    # Quality-probe curves (docs/observability.md): one dict per probe
+    # epoch with sampled Hits@k/MRR plus embedding/gradient health; fully
+    # deterministic, so it checkpoints and resumes bit-identically.
+    probes: list[dict] = field(default_factory=list)
+    # Wall time spent inside probes, for overhead accounting (never
+    # serialized — timing is not part of the deterministic log).
+    probe_seconds: float = 0.0
     # Crash-safety bookkeeping (docs/robustness.md): "completed" when the
     # run reached its natural end, "interrupted" when a signal stopped it
     # at an epoch boundary after a checkpoint, "resumed" when it picked up
-    # from a checkpoint and then completed.
+    # from a checkpoint and then completed, "diverged" when a sentinel
+    # aborted it (``diverged_reason`` says which rule tripped).
     status: str = "completed"
+    diverged_reason: str = ""
     resumed_from_epoch: int = 0
 
     @property
@@ -267,6 +290,7 @@ class EmbeddingApproach:
         checkpoint_dir: Path | str | None = None,
         checkpoint_every: int = 1,
         resume_from: Path | str | bool | None = None,
+        quality_path: Path | str | None = None,
     ) -> TrainingLog:
         """Train on ``split.train``, early-stopping on ``split.valid``.
 
@@ -282,6 +306,15 @@ class EmbeddingApproach:
         embeddings.  Resuming from a directory without a completed
         checkpoint silently starts fresh, so kill-at-any-point retry
         loops need no special casing.
+
+        Quality observability (docs/observability.md): with
+        ``config.probe_every`` or ``config.sentinel`` set, a
+        :class:`repro.obs.quality.QualityMonitor` runs after every epoch
+        — streaming Hits@k probes into ``log.probes`` and divergence
+        sentinels that latch an abort at the epoch boundary exactly like
+        SIGTERM, with ``log.status == "diverged"``.  Probe curves are
+        also appended to ``quality_path`` (defaults to
+        ``checkpoint_dir/quality.jsonl`` when checkpointing).
         """
         config = self.config
         rng = np.random.default_rng(config.seed)
@@ -296,6 +329,16 @@ class EmbeddingApproach:
         checkpointer = (TrainingCheckpointer(checkpoint_dir)
                         if checkpoint_dir is not None else None)
         interrupted = False
+        diverged = False
+        monitor = None
+        if config.probe_every > 0 or config.sentinel:
+            from ..obs.quality import QualityMonitor
+            if quality_path is None and checkpoint_dir is not None:
+                quality_path = Path(checkpoint_dir) / "quality.jsonl"
+            # probe on validation pairs; fall back to test pairs so
+            # valid-less runs still get curves (probes never feed training)
+            monitor = QualityMonitor(
+                self, split.valid or split.test, path=quality_path)
         with span("fit", approach=self.info.name, dataset=pair.name):
             with span("setup"):
                 self._setup(pair, split, rng)
@@ -319,7 +362,11 @@ class EmbeddingApproach:
                 best_state = restored["best_state"]
                 start_epoch = restored["epoch"] + 1
                 restore_log_fields(self.log, restored.get("log"))
-                self._load_extra_state(restored.get("extra") or {})
+                extra_state = dict(restored.get("extra") or {})
+                quality_state = extra_state.pop("__quality__", None)
+                if monitor is not None and quality_state:
+                    monitor.load_state(quality_state)
+                self._load_extra_state(extra_state)
                 self.log.resumed_from_epoch = restored["epoch"]
             elif split.valid and config.valid_every:
                 # epoch-0 snapshot: approaches with informative initialization
@@ -344,6 +391,9 @@ class EmbeddingApproach:
                     report_progress(stage="train", epoch=epoch,
                                     epochs=config.epochs,
                                     steps=self.log.steps_run)
+                    diverge_reason = None
+                    if monitor is not None:
+                        diverge_reason = monitor.observe(epoch, loss)
                     stop = False
                     if split.valid and config.valid_every and epoch % config.valid_every == 0:
                         with span("validate", epoch=epoch):
@@ -363,10 +413,15 @@ class EmbeddingApproach:
                     fault_point("epoch.end")
                     if checkpointer is not None and not stop and (
                         signals.requested
+                        or diverge_reason is not None
                         or (checkpoint_every > 0
                             and epoch % checkpoint_every == 0)
                         or epoch == config.epochs
                     ):
+                        extra = self._extra_state()
+                        if monitor is not None:
+                            extra = {**extra,
+                                     "__quality__": monitor.state_dict()}
                         with span("checkpoint", epoch=epoch):
                             checkpointer.save(
                                 epoch=epoch,
@@ -379,10 +434,17 @@ class EmbeddingApproach:
                                 best_epoch=best_epoch,
                                 bad_checks=bad_checks,
                                 approach=self.info.name,
-                                extra=self._extra_state(),
+                                extra=extra,
                             )
                     if signals.requested:
                         interrupted = True
+                        break
+                    if diverge_reason is not None:
+                        # sentinel abort: same epoch-boundary latch as the
+                        # signal path, but the best snapshot still restores
+                        # below so the model ends on its last good state
+                        diverged = True
+                        self.log.diverged_reason = diverge_reason
                         break
                     if stop:
                         break
@@ -392,8 +454,13 @@ class EmbeddingApproach:
         self.log.best_epoch = best_epoch or self.log.epochs_run
         self.log.train_seconds = time.perf_counter() - started
         self.log.peak_rss_bytes = peak_rss_bytes()
+        if monitor is not None:
+            self.log.probe_seconds = monitor.probe_seconds
+            monitor.close()
         if interrupted:
             self.log.status = "interrupted"
+        elif diverged:
+            self.log.status = "diverged"
         elif restored is not None:
             self.log.status = "resumed"
         if checkpointer is not None:
@@ -406,7 +473,10 @@ class EmbeddingApproach:
                 scalars={"epochs_run": self.log.epochs_run,
                          "train_seconds": self.log.train_seconds,
                          "steps_per_second": self.log.steps_per_second,
-                         "resumed_from_epoch": self.log.resumed_from_epoch},
+                         "resumed_from_epoch": self.log.resumed_from_epoch,
+                         **({"probe_hits_at_1": monitor.last_hits1}
+                            if monitor is not None
+                            and monitor.last_hits1 is not None else {})},
             )
         return self.log
 

@@ -257,6 +257,11 @@ def _log_to_dict(log) -> dict:
             [rec.iteration, rec.n_proposed, rec.precision, rec.recall, rec.f1]
             for rec in log.augmentation
         ],
+        # probe curves are deterministic (probe RNG is keyed by
+        # (seed, epoch)), so resumed histories replay bit-identically;
+        # status stays out — the *resumed* run decides its own status
+        "probes": [dict(p) for p in log.probes],
+        "diverged_reason": str(log.diverged_reason),
     }
 
 
@@ -277,6 +282,8 @@ def restore_log_fields(log, data: dict | None) -> None:
                            precision=float(p), recall=float(r), f1=float(f))
         for i, n, p, r, f in data.get("augmentation", [])
     ]
+    log.probes = [dict(p) for p in data.get("probes", [])]
+    log.diverged_reason = str(data.get("diverged_reason", ""))
 
 
 class CheckpointSignalHandler:

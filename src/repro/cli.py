@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from pathlib import Path
 
 from .datagen import FAMILIES, benchmark_pair
@@ -74,6 +75,17 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--resume", action="store_true",
                        help="resume from --checkpoint-dir if a "
                             "checkpoint exists")
+    train.add_argument("--probe-every", type=int, default=0,
+                       help="streaming quality probe every N epochs "
+                            "(0 disables)")
+    train.add_argument("--probe-sample", type=int, default=64,
+                       help="validation pairs per probe (default 64)")
+    train.add_argument("--sentinel", action="store_true",
+                       help="enable divergence sentinels (abort with "
+                            "status 'diverged', exit code 4)")
+    train.add_argument("--quality-out", type=Path, default=None,
+                       help="write probe curves to this quality.jsonl "
+                            "(default: checkpoint-dir/quality.jsonl)")
 
     build = commands.add_parser(
         "serve-build",
@@ -226,6 +238,45 @@ def build_parser() -> argparse.ArgumentParser:
                           help="gate within one sweep's records only "
                                "(`name@fingerprint` id or sweep name)")
 
+    obs_conformance = commands.add_parser(
+        "obs-conformance",
+        help="compare ledger CV/sweep records against the paper's "
+             "reference tables; exit 1 on drift, 2 when nothing joins",
+    )
+    obs_conformance.add_argument("--ledger", type=Path, default=None)
+    obs_conformance.add_argument("--reference", type=Path, default=None,
+                                 help="paper_tables.json (default: "
+                                      "benchmarks/reference/"
+                                      "paper_tables.json)")
+    obs_conformance.add_argument("--rel-tolerance", type=float, default=None,
+                                 help="override the reference file's "
+                                      "relative tolerance")
+    obs_conformance.add_argument("--sweep", default=None,
+                                 help="join one sweep's records only")
+    obs_conformance.add_argument("--json", action="store_true",
+                                 help="print the machine-readable report")
+
+    obs_quality = commands.add_parser(
+        "obs-quality",
+        help="render a quality.jsonl probe stream as a learning-curve "
+             "table",
+    )
+    obs_quality.add_argument("quality_file", type=Path)
+
+    quality_smoke = commands.add_parser(
+        "quality-smoke",
+        help="end-to-end quality-observability check: probe-instrumented "
+             "tiny CV, a sentinel-tripped diverging run, and a "
+             "conformance report",
+    )
+    quality_smoke.add_argument("--out", type=Path, default=Path("quality_smoke"))
+    quality_smoke.add_argument("--family", choices=sorted(FAMILIES),
+                               default="EN-FR")
+    quality_smoke.add_argument("--size", type=int, default=150)
+    quality_smoke.add_argument("--dim", type=int, default=16)
+    quality_smoke.add_argument("--epochs", type=int, default=8)
+    quality_smoke.add_argument("--seed", type=int, default=0)
+
     obs_export = commands.add_parser(
         "obs-export",
         help="export recorded metrics in a standard format",
@@ -305,13 +356,17 @@ def _cmd_train(args: argparse.Namespace) -> int:
     approach = get_approach(
         args.approach,
         ApproachConfig(dim=args.dim, epochs=args.epochs, seed=args.seed,
-                       valid_every=args.valid_every),
+                       valid_every=args.valid_every,
+                       probe_every=args.probe_every,
+                       probe_sample=args.probe_sample,
+                       sentinel=args.sentinel),
     )
     log = approach.fit(
         pair, split,
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
         resume_from=args.resume,
+        quality_path=args.quality_out,
     )
     digest = hashlib.sha256()
     for parameter in approach._parameters():
@@ -319,12 +374,19 @@ def _cmd_train(args: argparse.Namespace) -> int:
     print(f"status={log.status} epochs={log.epochs_run} "
           f"resumed_from={log.resumed_from_epoch}")
     print(f"params_sha256={digest.hexdigest()}")
+    if log.probes:
+        from .obs import format_quality_table
+
+        print(format_quality_table(log.probes))
     if log.status == "interrupted":
         print(f"interrupted; resume with --resume --checkpoint-dir "
               f"{args.checkpoint_dir}")
         return 3
     metrics = approach.evaluate(split.test)
     print(f"hits@1={metrics.hits_at(1):.6f} mrr={metrics.mrr:.6f}")
+    if log.status == "diverged":
+        print(f"diverged: {log.diverged_reason}")
+        return 4
     return 0
 
 
@@ -717,6 +779,137 @@ def _cmd_obs_gate(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _cmd_obs_conformance(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .obs import RunLedger, conformance_report, load_reference, sweep_where
+
+    ledger = RunLedger(args.ledger)
+    records = ledger.records() if ledger.path.is_file() else []
+    if args.sweep:
+        where = sweep_where(args.sweep)
+        records = [r for r in records if where(r)]
+    try:
+        reference = load_reference(args.reference)
+    except (OSError, ValueError) as error:
+        print(f"error: could not load reference tables: {error}",
+              file=sys.stderr)
+        return 2
+    report = conformance_report(records, reference,
+                                rel_tolerance=args.rel_tolerance)
+    if args.json:
+        print(json_module.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.format())
+    return report.exit_code
+
+
+def _cmd_obs_quality(args: argparse.Namespace) -> int:
+    from .obs import format_quality_table, load_events_tolerant
+
+    if not args.quality_file.is_file():
+        print(f"error: {args.quality_file} is not a file", file=sys.stderr)
+        return 2
+    records, skipped = load_events_tolerant(args.quality_file)
+    print(format_quality_table(records))
+    if skipped:
+        print(f"(skipped {skipped} torn/unreadable line(s))")
+    return 0
+
+
+def _cmd_quality_smoke(args: argparse.Namespace) -> int:
+    """End-to-end exercise of the quality-observability stack.
+
+    Three acts on a tiny synthetic dataset:
+
+    1. a deliberately diverging fit (SGD, absurd learning rate) that a
+       sentinel must abort before 50% of the epoch budget;
+    2. a probe-instrumented 2-fold CV whose record lands in the ledger
+       (when ``REPRO_LEDGER_PATH`` is set) with hits/MRR scalars — the
+       record ``make perf-gate``'s quality leg gates;
+    3. a conformance report of that ledger against the paper tables
+       (informational here: reduced-scale runs are expected to drift).
+
+    Exit 0 only if the sentinel tripped in time and the CV completed.
+    """
+    import dataclasses
+    import json as json_module
+
+    from .approaches import ApproachConfig, get_approach
+    from .obs import (RunLedger, conformance_report, format_quality_table,
+                      load_reference)
+    from .pipeline import cross_validate
+
+    out: Path = args.out
+    out.mkdir(parents=True, exist_ok=True)
+    pair = benchmark_pair(args.family, size=args.size, method="direct",
+                          seed=args.seed)
+    split = pair.five_fold_splits(seed=args.seed)[0]
+    base = ApproachConfig(dim=args.dim, epochs=args.epochs, lr=0.05,
+                          batch_size=512, n_negatives=3, seed=args.seed,
+                          valid_every=max(2, args.epochs // 2),
+                          probe_every=2, probe_sample=32, sentinel=True)
+    summary: dict = {}
+
+    # 1 — sentinel trip: budget 4x the normal run, must abort before 50%
+    diverging = dataclasses.replace(base, optimizer="sgd", lr=1e4,
+                                    epochs=args.epochs * 4)
+    approach = get_approach("MTransE", diverging)
+    with warnings.catch_warnings():
+        # the overflow is the point: this run is built to explode
+        warnings.simplefilter("ignore", RuntimeWarning)
+        log = approach.fit(pair, split, quality_path=out / "diverge.jsonl")
+    tripped = (log.status == "diverged"
+               and log.epochs_run < diverging.epochs * 0.5)
+    print(f"sentinel trip: status={log.status} "
+          f"epochs={log.epochs_run}/{diverging.epochs} "
+          f"reason={log.diverged_reason or '-'}")
+    summary["sentinel"] = {"status": log.status,
+                           "epochs_run": log.epochs_run,
+                           "budget": diverging.epochs,
+                           "reason": log.diverged_reason,
+                           "tripped_in_time": tripped}
+
+    # 2 — probe-instrumented CV; records a "cv" ledger run with quality
+    # scalars, and each fold writes quality.jsonl under its checkpoint
+    result = cross_validate(
+        lambda: get_approach("MTransE", base), pair, n_folds=2,
+        seed=args.seed, checkpoint_dir=out / "ckpt",
+    )
+    probes = result.folds[0].log.probes if result.folds else []
+    print(f"probe CV: status={result.status} "
+          f"hits@1={result.mean_std('hits@1')[0]:.3f}")
+    if probes:
+        print(format_quality_table(probes))
+    summary["cv"] = {"status": result.status,
+                     "hits_at_1": result.mean_std("hits@1")[0],
+                     "probes": len(probes)}
+
+    # 3 — conformance against the paper tables (informational at this
+    # scale: the verdict prints but does not fail the smoke)
+    ledger = RunLedger()
+    if ledger.path.is_file():
+        try:
+            reference = load_reference()
+        except OSError:
+            print("conformance: reference tables not found, skipped")
+        else:
+            report = conformance_report(ledger.records(), reference)
+            print(report.format())
+            summary["conformance"] = {"status": report.status,
+                                      "rows": len(report.rows)}
+    else:
+        print("conformance: no ledger (set REPRO_LEDGER_PATH), skipped")
+
+    ok = tripped and result.status in ("completed", "resumed") and probes
+    summary["ok"] = bool(ok)
+    (out / "quality_smoke.json").write_text(
+        json_module.dumps(summary, indent=2, sort_keys=True),
+        encoding="utf-8",
+    )
+    return 0 if ok else 1
+
+
 def _cmd_obs_export(args: argparse.Namespace) -> int:
     from .obs import RunLedger, load_events_tolerant, render_prometheus
 
@@ -785,6 +978,12 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_obs_ledger(args)
     if args.command == "obs-gate":
         return _cmd_obs_gate(args)
+    if args.command == "obs-conformance":
+        return _cmd_obs_conformance(args)
+    if args.command == "obs-quality":
+        return _cmd_obs_quality(args)
+    if args.command == "quality-smoke":
+        return _cmd_quality_smoke(args)
     if args.command == "obs-export":
         return _cmd_obs_export(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -62,7 +62,15 @@ from .opprof import (
     enable_op_profiler,
     profile_ops,
 )
+from .quality import (
+    ConformanceReport,
+    ConformanceRow,
+    QualityMonitor,
+    conformance_report,
+    load_reference,
+)
 from .regress import (
+    QUALITY_METRICS,
     GateReport,
     MetricPolicy,
     MetricVerdict,
@@ -81,6 +89,7 @@ from .registry import (
 from .report import (
     format_op_table,
     format_phase_table,
+    format_quality_table,
     load_events,
     load_events_merged,
     load_events_tolerant,
@@ -109,6 +118,9 @@ __all__ = [
     "profile_ops",
     "load_events", "load_events_tolerant", "load_events_merged",
     "phase_breakdown", "format_phase_table", "format_op_table",
+    "format_quality_table",
+    "QualityMonitor", "ConformanceReport", "ConformanceRow",
+    "conformance_report", "load_reference", "QUALITY_METRICS",
     "ProgressSink", "report_progress", "set_progress_sink",
     "get_progress", "StallDetector", "read_state", "format_top",
     "tail_jsonl", "open_bus", "append_jsonl",

@@ -263,6 +263,8 @@ def read_state(telemetry_dir: Path | str, now_unix: float | None = None) -> dict
         "workers": {},
         "rungs": {},
         "eta_seconds": None,
+        "best_hits1": None,
+        "diverged_jobs": [],
         "finished": False,
         "skipped_lines": 0,
     }
@@ -288,6 +290,7 @@ def read_state(telemetry_dir: Path | str, now_unix: float | None = None) -> dict
                 "state": "pending", "worker": None, "attempts": 0,
                 "describe": "", "stage": "", "rung": -1,
                 "started_unix": None, "finished_unix": None,
+                "score": None, "hits1": None, "diverged": False,
             })
             new = event.get("state")
             ts = event.get("ts_unix")
@@ -304,6 +307,10 @@ def read_state(telemetry_dir: Path | str, now_unix: float | None = None) -> dict
             elif new in ("done", "failed", "restored"):
                 job["state"] = new
                 job["finished_unix"] = ts
+                if isinstance(event.get("score"), (int, float)):
+                    job["score"] = float(event["score"])
+                if event.get("status") == "diverged":
+                    job["diverged"] = True
                 if new == "done" and job["started_unix"] is not None \
                         and ts is not None:
                     durations.append(max(0.0, ts - job["started_unix"]))
@@ -319,6 +326,7 @@ def read_state(telemetry_dir: Path | str, now_unix: float | None = None) -> dict
                 "rss_bytes": 0, "peak_rss_bytes": 0, "steps_per_s": 0.0,
                 "epoch": None, "epochs": None, "job_id": None,
                 "jobs_done": 0, "heartbeats": 0,
+                "hits1": None, "diverged": False,
             })
             what = event.get("event")
             if what == "spawned":
@@ -352,6 +360,7 @@ def read_state(telemetry_dir: Path | str, now_unix: float | None = None) -> dict
                 "rss_bytes": 0, "peak_rss_bytes": 0, "steps_per_s": 0.0,
                 "epoch": None, "epochs": None, "job_id": None,
                 "jobs_done": 0, "heartbeats": 0,
+                "hits1": None, "diverged": False,
             })
             worker["heartbeats"] += 1
             worker["last_beat_unix"] = beat.get("ts_unix")
@@ -363,6 +372,19 @@ def read_state(telemetry_dir: Path | str, now_unix: float | None = None) -> dict
             worker["epochs"] = beat.get("epochs")
             worker["job_id"] = beat.get("job_id")
             worker["jobs_done"] = int(beat.get("jobs_done", 0))
+            # quality payload: live probe Hits@1 + sentinel flag, per
+            # worker and attributed to the job it was beating on
+            hits1 = beat.get("hits1")
+            if isinstance(hits1, (int, float)):
+                worker["hits1"] = float(hits1)
+            diverged = bool(beat.get("diverged"))
+            worker["diverged"] = diverged
+            job = jobs.get(beat.get("job_id"))
+            if job is not None:
+                if isinstance(hits1, (int, float)):
+                    job["hits1"] = float(hits1)
+                if diverged:
+                    job["diverged"] = True
             if beat.get("final") and worker["status"] != "dead":
                 # a clean goodbye beat: the worker drained its queue and
                 # exited — unlike a kill, which just stops beating
@@ -397,6 +419,19 @@ def read_state(telemetry_dir: Path | str, now_unix: float | None = None) -> dict
         state["eta_seconds"] = open_jobs * mean / max(1, alive)
     elif not open_jobs and jobs:
         state["eta_seconds"] = 0.0
+
+    # sweep-level best Hits@1 so far: completed-job validation scores and
+    # any fresher in-flight probe values, whichever is ahead
+    candidates = [job["score"] for job in jobs.values()
+                  if isinstance(job.get("score"), (int, float))]
+    candidates += [job["hits1"] for job in jobs.values()
+                   if isinstance(job.get("hits1"), (int, float))]
+    candidates += [w["hits1"] for w in workers.values()
+                   if isinstance(w.get("hits1"), (int, float))]
+    if candidates:
+        state["best_hits1"] = max(candidates)
+    state["diverged_jobs"] = sorted(
+        job_id for job_id, job in jobs.items() if job.get("diverged"))
     return state
 
 
@@ -442,6 +477,7 @@ def format_top(state: dict) -> str:
         f"{counts.get('failed', 0)} failed "
         f"({state.get('requeues', 0)} requeued, "
         f"{counts.get('restored', 0)} restored, "
+        f"{len(state.get('diverged_jobs', []))} diverged, "
         f"{state.get('stalls', 0)} stalls)"
     )
     rungs = state.get("rungs", {})
@@ -450,14 +486,21 @@ def format_top(state: dict) -> str:
                            for key, bucket in sorted(rungs.items()))
         lines.append(f"rungs: {cells}")
     eta = state.get("eta_seconds")
+    best_hits1 = state.get("best_hits1")
+    status_bits = []
     if eta is not None:
-        lines.append(f"eta: ~{_fmt_age(eta)}")
+        status_bits.append(f"eta: ~{_fmt_age(eta)}")
+    if isinstance(best_hits1, (int, float)):
+        status_bits.append(f"best H@1: {best_hits1:.3f}")
+    if status_bits:
+        lines.append(" — ".join(status_bits))
     workers = state.get("workers", {})
     if workers:
         lines.append("")
         lines.append(f"{'worker':>6s} {'pid':>7s} {'status':<8s} "
-                     f"{'job':<18s} {'epoch':>7s} {'steps/s':>9s} "
-                     f"{'rss':>7s} {'beat':>8s} {'done':>5s}")
+                     f"{'job':<18s} {'epoch':>7s} {'hits@1':>7s} "
+                     f"{'steps/s':>9s} {'rss':>7s} {'beat':>8s} "
+                     f"{'done':>5s}")
         for idx in sorted(workers, key=lambda k: (str(k))):
             worker = workers[idx]
             job_id = worker.get("job_id") or ""
@@ -469,15 +512,30 @@ def format_top(state: dict) -> str:
             epochs = worker.get("epochs")
             epoch_cell = (f"{epoch}/{epochs}" if epoch is not None
                           and epochs else (str(epoch) if epoch else "-"))
+            hits1 = worker.get("hits1")
+            hits_cell = (f"{hits1:.3f}"
+                         if isinstance(hits1, (int, float)) else "-")
+            status = worker.get("status", "-")
+            if worker.get("diverged"):
+                status = "DIVERGED"
             lines.append(
                 f"{str(idx):>6s} {str(worker.get('pid') or '-'):>7s} "
-                f"{worker.get('status', '-'):<8s} "
+                f"{status:<8s} "
                 f"{(describe or job_id or '-')[:18]:<18s} "
-                f"{epoch_cell:>7s} {worker.get('steps_per_s', 0.0):>9.1f} "
+                f"{epoch_cell:>7s} {hits_cell:>7s} "
+                f"{worker.get('steps_per_s', 0.0):>9.1f} "
                 f"{_fmt_bytes(int(worker.get('rss_bytes', 0))):>7s} "
                 f"{_fmt_age(worker.get('beat_age_s')):>8s} "
                 f"{worker.get('jobs_done', 0):>5d}"
             )
+    diverged_jobs = state.get("diverged_jobs", [])
+    if diverged_jobs:
+        jobs = state.get("jobs", {})
+        names = []
+        for job_id in diverged_jobs:
+            job = jobs.get(job_id, {})
+            names.append((job.get("describe") or job_id)[:24])
+        lines.append("diverged: " + ", ".join(names))
     if state.get("skipped_lines"):
         lines.append(f"(skipped {state['skipped_lines']} torn/unreadable "
                      f"telemetry line(s))")

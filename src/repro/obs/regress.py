@@ -43,6 +43,7 @@ __all__ = [
     "MetricVerdict",
     "GateReport",
     "DEFAULT_POLICIES",
+    "QUALITY_METRICS",
     "median",
     "mad",
     "robust_z",
@@ -93,10 +94,17 @@ DEFAULT_POLICIES: dict[str, MetricPolicy] = {
         MetricPolicy("train_seconds", False, rel_threshold=0.25,
                      bootstrap=True),
         MetricPolicy("peak_rss_bytes", False, rel_threshold=0.30),
-        # alignment quality
+        # alignment quality (QUALITY_METRICS below lists these)
         MetricPolicy("hits_at_1", True, rel_threshold=0.10, z_threshold=3.0),
         MetricPolicy("hits_at_5", True, rel_threshold=0.10, z_threshold=3.0),
+        MetricPolicy("hits_at_10", True, rel_threshold=0.10, z_threshold=3.0),
         MetricPolicy("mrr", True, rel_threshold=0.10, z_threshold=3.0),
+        # streaming-probe quality (docs/observability.md): the last
+        # probe's sampled Hits@1, recorded by checkpointing train runs
+        # and CV aggregates — a slightly looser band than the full-eval
+        # metrics because the probe subsample adds variance
+        MetricPolicy("probe_hits_at_1", True, rel_threshold=0.15,
+                     z_threshold=3.0),
         # serving
         MetricPolicy("qps", True, rel_threshold=0.20, bootstrap=True),
         MetricPolicy("p50_ms", False, rel_threshold=0.25, bootstrap=True),
@@ -106,6 +114,13 @@ DEFAULT_POLICIES: dict[str, MetricPolicy] = {
         MetricPolicy("speedup", True, rel_threshold=0.30, bootstrap=True),
     )
 }
+
+#: The model-quality policies the gate applies (direction = higher):
+#: `make perf-gate` guards these alongside the timing metrics, so a
+#: quality regression fails CI exactly like a throughput regression.
+QUALITY_METRICS: tuple[str, ...] = (
+    "hits_at_1", "hits_at_5", "hits_at_10", "mrr", "probe_hits_at_1",
+)
 
 
 # ---------------------------------------------------------------------------

@@ -12,7 +12,8 @@ import json
 from pathlib import Path
 
 __all__ = ["load_events", "load_events_tolerant", "load_events_merged",
-           "phase_breakdown", "format_phase_table", "format_op_table"]
+           "phase_breakdown", "format_phase_table", "format_op_table",
+           "format_quality_table"]
 
 
 def load_events(path) -> list[dict]:
@@ -158,6 +159,46 @@ def format_phase_table(events: list[dict]) -> str:
             f"{row['self_s'] / total:6.1%} {rss_text:>11s}"
         )
     lines.append(f"{'total (root spans)':<24s} {len(roots):7d} {total:9.3f}")
+    return "\n".join(lines)
+
+
+def format_quality_table(records: list[dict]) -> str:
+    """Render a quality learning curve (``quality.jsonl`` probe records
+    or ``TrainingLog.probes`` entries) as the per-epoch table the
+    ``obs-quality`` verb and ``quality-smoke`` print.
+
+    Accepts the raw record stream: non-probe records (sentinel events,
+    unknown future kinds) pass through as annotation lines after the
+    table rather than breaking it.
+    """
+    probes = [r for r in records if r.get("type", "probe") == "probe"]
+    sentinels = [r for r in records if r.get("type") == "sentinel"]
+    if not probes and not sentinels:
+        return "no quality probe records"
+    lines = []
+    if probes:
+        lines.append(
+            f"{'epoch':>5s} {'loss':>10s} {'H@1':>6s} {'H@5':>6s} "
+            f"{'H@10':>6s} {'MRR':>6s} {'drift':>7s} {'collapse':>8s} "
+            f"{'grad-ewma':>10s}"
+        )
+        for probe in probes:
+            lines.append(
+                f"{int(probe.get('epoch', 0)):>5d} "
+                f"{float(probe.get('loss', 0.0)):>10.4f} "
+                f"{float(probe.get('hits_at_1', 0.0)):>6.3f} "
+                f"{float(probe.get('hits_at_5', 0.0)):>6.3f} "
+                f"{float(probe.get('hits_at_10', 0.0)):>6.3f} "
+                f"{float(probe.get('mrr', 0.0)):>6.3f} "
+                f"{float(probe.get('drift', 0.0)):>7.4f} "
+                f"{float(probe.get('collapse_ratio', 0.0)):>8.3f} "
+                f"{float(probe.get('grad_norm_ewma', 0.0)):>10.3g}"
+            )
+    for sentinel in sentinels:
+        lines.append(
+            f"sentinel @ epoch {int(sentinel.get('epoch', 0))}: "
+            f"{sentinel.get('reason', '?')}"
+        )
     return "\n".join(lines)
 
 

@@ -228,6 +228,10 @@ def execute_job(spec: JobSpec, *, pairs: dict | None = None,
         "epochs": spec.epochs,
         "seed": spec.seed(),
         "score": float(score),
+        # "diverged" flows to the dashboard via the done job_event; a
+        # diverged job still returns a result (the best snapshot was
+        # restored) and halving prunes it naturally through its score
+        "status": log.status,
         "fold_result": fold_to_dict(fold),
     }
 

@@ -187,7 +187,9 @@ def run_jobs(
         if snapshot is not None:
             registry.merge_snapshot(snapshot)
         if telemetry is not None:
-            telemetry.job_event(spec, "done", worker=worker)
+            telemetry.job_event(spec, "done", worker=worker,
+                                payload=payload if isinstance(payload, dict)
+                                else None)
         if on_complete is not None:
             on_complete(spec, payload)
 

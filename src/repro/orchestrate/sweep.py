@@ -73,6 +73,9 @@ def payload_metrics(payload: dict) -> dict:
     history, seeds, epochs) must match exactly.
     """
     payload = json.loads(json.dumps(payload))  # deep copy, plain data
+    # status differs between clean ("completed") and crash-resumed
+    # ("resumed") executions of the same job; the metrics must not
+    payload.pop("status", None)
     fold = payload.get("fold_result", {})
     for key in ("seconds", "train_seconds", "peak_rss_bytes"):
         fold.pop(key, None)

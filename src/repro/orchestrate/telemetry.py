@@ -157,7 +157,8 @@ class WorkerTelemetry:
     def job_started(self, job_id: str) -> None:
         self._job_id = job_id
         self._progress.update({"stage": "start", "epoch": None,
-                               "epochs": None, "steps": None})
+                               "epochs": None, "steps": None,
+                               "hits1": None, "diverged": None})
 
     def job_finished(self, job_id: str, ok: bool) -> None:
         self._job_id = None
@@ -198,6 +199,14 @@ class WorkerTelemetry:
             "jobs_done": self._jobs_done,
             "queue_depth": queue_depth,
         }
+        # quality payload (docs/observability.md): the in-fit
+        # QualityMonitor reports probe Hits@1 and sentinel trips through
+        # the same progress sink the epoch counters use
+        hits1 = progress.get("hits1")
+        if isinstance(hits1, (int, float)):
+            record["hits1"] = round(float(hits1), 4)
+        if progress.get("diverged"):
+            record["diverged"] = True
         if final:
             record["final"] = True
         with self._lock:
@@ -373,8 +382,14 @@ class SweepTelemetry:
         self._emit({"type": "worker", "event": "died", "worker": worker,
                     "pid": pid, "exitcode": exitcode})
 
-    def job_event(self, spec, state: str, worker: int | None = None) -> None:
-        """Record a job-state transition on the parent bus."""
+    def job_event(self, spec, state: str, worker: int | None = None,
+                  payload: dict | None = None) -> None:
+        """Record a job-state transition on the parent bus.
+
+        ``payload`` (the ``execute_job`` result, passed on "done")
+        contributes the quality fields the dashboard shows: the job's
+        validation score and a diverged flag when a sentinel aborted it.
+        """
         record = {"type": "job_state", "job_id": spec.job_id, "state": state}
         if worker is not None:
             record["worker"] = worker
@@ -384,6 +399,13 @@ class SweepTelemetry:
                 record["describe"] = describe()
             record["stage"] = getattr(spec, "stage", "")
             record["rung"] = getattr(spec, "rung", -1)
+        if isinstance(payload, dict):
+            score = payload.get("score")
+            if isinstance(score, (int, float)):
+                record["score"] = round(float(score), 4)
+            status = payload.get("status")
+            if isinstance(status, str) and status not in ("", "completed"):
+                record["status"] = status
         self._emit(record)
 
     def poll(self) -> None:

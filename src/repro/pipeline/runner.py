@@ -52,8 +52,9 @@ class CVResult:
     name: str
     dataset: str
     folds: list[FoldResult] = field(default_factory=list)
-    # "completed", "resumed" (completed after restoring earlier folds)
-    # or "interrupted" (a fold stopped at a checkpoint; rerun to resume).
+    # "completed", "resumed" (completed after restoring earlier folds),
+    # "interrupted" (a fold stopped at a checkpoint; rerun to resume) or
+    # "diverged" (a sentinel aborted at least one fold early).
     status: str = "completed"
 
     def _values(self, getter) -> np.ndarray:
@@ -221,6 +222,12 @@ def cross_validate(
                 completed[fold_index] = fold
                 if progress_path is not None:
                     _save_cv_progress(progress_path, config, completed)
+        if result.status != "interrupted" and any(
+            fold.log.status == "diverged" for fold in result.folds
+        ):
+            # sentinel-aborted folds evaluated on their best snapshot, so
+            # the aggregate is still meaningful — but the run is flagged
+            result.status = "diverged"
     # Persist the run to the ledger (no-op unless REPRO_LEDGER_PATH is
     # set) so `repro obs-gate` can compare future CV runs against it.
     record_run("cv", f"{name}/{pair.name}",
@@ -263,7 +270,10 @@ def fold_from_dict(data: dict) -> FoldResult:
     metrics = data["metrics"]
     log = TrainingLog()
     restore_log_fields(log, data.get("log"))
-    log.status = "completed"
+    # diverged_reason is deterministic log state, so a sentinel-aborted
+    # fold keeps its status across the round trip; "resumed" does not
+    # survive on purpose (clean and crash-resumed folds must compare equal)
+    log.status = "diverged" if log.diverged_reason else "completed"
     log.train_seconds = float(data.get("train_seconds", 0.0))
     log.best_epoch = int(data.get("best_epoch", 0))
     log.peak_rss_bytes = int(data.get("peak_rss_bytes", 0))
@@ -406,4 +416,12 @@ def _cv_scalars(result: CVResult, hits_at: tuple[int, ...],
         mean, _ = result.mean_std(f"hits@{k}")
         scalars[f"hits_at_{k}"] = mean
     scalars["mrr"] = result.mean_std("mrr")[0]
+    diverged = sum(1 for fold in result.folds
+                   if fold.log.status == "diverged")
+    if diverged:
+        scalars["folds_diverged"] = float(diverged)
+    probed = [fold.log.probes[-1]["hits_at_1"] for fold in result.folds
+              if fold.log.probes]
+    if probed:
+        scalars["probe_hits_at_1"] = float(np.mean(probed))
     return scalars

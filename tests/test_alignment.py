@@ -203,6 +203,20 @@ def test_rank_metrics_empty():
     metrics = rank_metrics(np.zeros((0, 3)), np.zeros(0, dtype=int))
     assert metrics.n == 0
     assert metrics.mr == 0.0
+    assert metrics.mrr == 0.0
+    # the default cutoffs are present (all zero) so downstream code can
+    # read hits_at(1) off an empty evaluation without special-casing
+    assert metrics.hits == {1: 0.0, 5: 0.0, 10: 0.0}
+    str(metrics)  # renders without dividing by n
+
+
+def test_rank_metrics_cutoff_beyond_candidate_count():
+    """hits_at m larger than the candidate pool saturates at 1.0: every
+    rank is <= the number of candidates, so the cutoff catches all."""
+    sim = np.array([[0.9, 0.1], [0.9, 0.1]])
+    metrics = rank_metrics(sim, np.array([0, 1]), hits_at=(1, 10))
+    assert metrics.hits_at(1) == 0.5
+    assert metrics.hits_at(10) == 1.0
 
 
 def test_rank_metrics_shape_mismatch():
@@ -213,6 +227,9 @@ def test_rank_metrics_shape_mismatch():
 def test_rank_metrics_str():
     text = str(rank_metrics(np.eye(2), np.arange(2)))
     assert "H@1=1.000" in text
+    assert "MR=1.0" in text
+    assert "MRR=1.000" in text
+    assert "(n=2)" in text
 
 
 def test_prf_metrics_values():

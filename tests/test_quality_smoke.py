@@ -1,0 +1,114 @@
+"""`make quality-smoke` in miniature (docs/observability.md).
+
+One in-process run of ``repro quality-smoke`` against a temporary
+ledger, then the three contracts around it: the smoke's own pass/fail
+logic, the ``obs-conformance`` exit codes against the checked-in paper
+tables, and the perf gate failing on an injected 30% Hits@1 drop over
+the quality scalars the smoke recorded.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro import cli
+from repro.obs import RunLedger, gate
+
+REPO = Path(__file__).resolve().parents[1]
+REFERENCE = REPO / "benchmarks" / "reference" / "paper_tables.json"
+
+
+@pytest.fixture(scope="module")
+def smoke(tmp_path_factory):
+    """One quality-smoke run recording into a fresh ledger."""
+    tmp = tmp_path_factory.mktemp("quality_smoke")
+    ledger_path = tmp / "ledger.jsonl"
+    saved = os.environ.get("REPRO_LEDGER_PATH")
+    os.environ["REPRO_LEDGER_PATH"] = str(ledger_path)
+    cwd = os.getcwd()
+    os.chdir(REPO)  # the smoke loads the checked-in reference tables
+    try:
+        code = cli.main(["quality-smoke", "--out", str(tmp / "out")])
+    finally:
+        os.chdir(cwd)
+        if saved is None:
+            os.environ.pop("REPRO_LEDGER_PATH", None)
+        else:
+            os.environ["REPRO_LEDGER_PATH"] = saved
+    return {"code": code, "ledger": ledger_path, "out": tmp / "out"}
+
+
+def test_quality_smoke_passes_and_writes_summary(smoke):
+    assert smoke["code"] == 0
+    summary = json.loads(
+        (smoke["out"] / "quality_smoke.json").read_text())
+    assert summary["ok"]
+    sentinel = summary["sentinel"]
+    assert sentinel["status"] == "diverged"
+    assert sentinel["reason"]
+    assert sentinel["epochs_run"] < 0.5 * sentinel["budget"]
+    assert summary["cv"]["status"] in ("completed", "resumed")
+    assert summary["cv"]["probes"] > 0
+    # the diverging fit streamed probe + sentinel records onto its bus
+    records = [json.loads(line) for line in
+               (smoke["out"] / "diverge.jsonl").read_text().splitlines()]
+    assert any(r["type"] == "sentinel" for r in records)
+
+
+def test_ledger_carries_quality_scalars(smoke):
+    records = RunLedger(smoke["ledger"]).records()
+    cv = [r for r in records if r["kind"] == "cv"]
+    assert cv
+    scalars = cv[-1]["scalars"]
+    for metric in ("hits_at_1", "hits_at_5", "hits_at_10", "mrr",
+                   "probe_hits_at_1"):
+        assert metric in scalars, metric
+
+
+def test_obs_conformance_exit_codes(smoke, capsys):
+    # the smoke's reduced-scale CV joins the MTransE/EN-FR reference
+    # entry; its numbers are far below the paper's, so: drift (1) at
+    # the default tolerance, within (0) with the band wide open
+    assert cli.main(["obs-conformance", "--ledger", str(smoke["ledger"]),
+                     "--reference", str(REFERENCE)]) == 1
+    out = capsys.readouterr().out
+    assert "DRIFT" in out and "MTransE" in out
+    assert cli.main(["obs-conformance", "--ledger", str(smoke["ledger"]),
+                     "--reference", str(REFERENCE),
+                     "--rel-tolerance", "1e9"]) == 0
+    # an absent/empty ledger has nothing to join: exit 2
+    assert cli.main(["obs-conformance",
+                     "--ledger", str(smoke["out"] / "missing.jsonl"),
+                     "--reference", str(REFERENCE)]) == 2
+
+
+def test_obs_conformance_json_output(smoke, capsys):
+    cli.main(["obs-conformance", "--ledger", str(smoke["ledger"]),
+              "--reference", str(REFERENCE), "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["status"] == "drift"
+    assert payload["exit_code"] == 1
+    assert any(row["metric"] == "hits_at_1" for row in payload["rows"])
+
+
+def test_gate_fails_on_injected_hits1_drop(smoke):
+    """The perf-gate quality leg: a 30% Hits@1 drop must regress."""
+    ledger = RunLedger(smoke["ledger"])
+    records = ledger.records()
+    current = [r for r in records if r["kind"] == "cv"][-1]
+    # grow a trailing baseline from the genuine record (the gate needs
+    # >= 3 comparable runs before it judges)
+    for i in range(5):
+        clone = dict(current)
+        clone["run_id"] = f"{current['run_id']}-baseline{i}"
+        ledger.append(clone)
+    clean = gate(ledger, run_id=current["run_id"],
+                 metrics=["hits_at_1", "probe_hits_at_1"])
+    assert clean.status == "ok", clean.format()
+    dropped = gate(ledger, run_id=current["run_id"],
+                   metrics=["hits_at_1", "probe_hits_at_1"],
+                   inject_factor=1.43)
+    assert dropped.status == "regressed", dropped.format()
+    assert dropped.exit_code == 1

@@ -18,9 +18,10 @@ from pathlib import Path
 import pytest
 
 from repro import faults
-from repro.obs import (MetricsRegistry, StallDetector, label_snapshot,
-                       peak_rss_bytes, peak_rss_children_bytes,
-                       peak_rss_tree_bytes, read_state, set_registry)
+from repro.obs import (MetricsRegistry, StallDetector, format_top,
+                       label_snapshot, peak_rss_bytes,
+                       peak_rss_children_bytes, peak_rss_tree_bytes,
+                       read_state, set_registry, tail_jsonl)
 from repro.obs.report import load_events_merged
 from repro.orchestrate import (SweepTelemetry, parse_spec, payload_metrics,
                                run_sweep, stitch_events)
@@ -392,6 +393,94 @@ def test_obs_top_json_counts_match_progress_file(sweep2):
     )
     assert "[finished]" in top.stdout
     assert f"{len(progress['jobs'])} done" in top.stdout
+
+
+# ---------------------------------------------------------------------------
+# bus-reader tolerance: torn tails and unknown event kinds
+# ---------------------------------------------------------------------------
+def test_read_state_tolerates_torn_lines_and_unknown_kinds(tmp_path):
+    """Dashboard readers must survive (a) a torn trailing line a live
+    writer is mid-appending, (b) a malformed complete line from a torn
+    write, and (c) event kinds from a newer writer they don't know."""
+    tdir = tmp_path / "telemetry"
+    tdir.mkdir()
+    (tdir / "meta.json").write_text(json.dumps(
+        {"sweep_id": "t", "jobs": 1, "heartbeat_interval": 1.0,
+         "started_unix": 0.0}))
+    parent = tdir / "parent.jsonl"
+    parent.write_text(
+        json.dumps({"type": "job_state", "job_id": "j1",
+                    "state": "running", "worker": 0, "ts_unix": 1.0}) + "\n"
+        + json.dumps({"type": "quality_blob", "hits": [1, 2, 3]}) + "\n"
+        + '{"type": "job_state", "broken...}\n'
+        + json.dumps({"type": "job_state", "job_id": "j1", "state": "done",
+                      "ts_unix": 2.0, "score": 0.4}) + "\n"
+        + '{"type": "job_state", "state": "torn-mid-wri')
+    bus = tdir / "worker_0.jsonl"
+    bus.write_text(
+        json.dumps({"type": "heartbeat", "worker": 0, "pid": 1,
+                    "ts_unix": 1.5, "rss_bytes": 1024, "job_id": "j1",
+                    "hits1": 0.25}) + "\n"
+        + json.dumps({"type": "mystery", "payload": {"x": 1}}) + "\n"
+        + '{"type": "heartbeat", "worker": 0, "ts_un')
+
+    events, _, skipped = tail_jsonl(parent)
+    assert skipped == 1  # the malformed complete line only
+    assert [e["type"] for e in events] == \
+        ["job_state", "quality_blob", "job_state"]
+
+    state = read_state(tmp_path, now_unix=3.0)
+    assert state["skipped_lines"] == 1
+    job = state["jobs"]["j1"]
+    assert job["state"] == "done"
+    assert job["score"] == 0.4
+    assert job["hits1"] == 0.25  # heartbeat attribution survived the noise
+    assert state["workers"][0]["hits1"] == 0.25
+    assert state["best_hits1"] == 0.4
+    # the rendering works off that state too, unknown kinds and all
+    top = format_top(state)
+    assert "best H@1: 0.400" in top
+    assert "torn/unreadable" in top
+
+
+# ---------------------------------------------------------------------------
+# quality in the dashboard: live Hits@1 and diverged jobs
+# ---------------------------------------------------------------------------
+QUALITY_SPEC = {
+    "sweep": {"name": "tele-quality", "n_folds": 2, "seed": 0, "epochs": 4},
+    "halving": {"min_epochs": 2, "eta": 2},
+    "datasets": [{"family": "EN-FR", "size": 120, "method": "direct"}],
+    "approaches": [
+        {"name": "MTransE",
+         "config": {"dim": 8, "valid_every": 2, "optimizer": "sgd",
+                    "probe_every": 2, "probe_sample": 32,
+                    "sentinel": True},
+         "grid": {"lr": [0.05, 10000.0]}},
+    ],
+}
+
+
+def test_sweep_surfaces_probe_hits_and_diverged_jobs(tmp_path):
+    """The lr=1e4 candidate must be sentinel-aborted and flagged in the
+    dashboard, while the sweep completes and reports its best Hits@1."""
+    result = run_sweep(parse_spec(QUALITY_SPEC), jobs=2, record=False,
+                       workdir=tmp_path / "sweep",
+                       heartbeat_interval=0.05)
+    assert not result.stats.failed
+    diverged_payloads = [job_id for job_id, payload
+                         in result.job_payloads.items()
+                         if payload.get("status") == "diverged"]
+    assert diverged_payloads, "the lr=1e4 candidate should diverge"
+    state = read_state(tmp_path / "sweep")
+    assert state["finished"]
+    assert set(state["diverged_jobs"]) == set(diverged_payloads)
+    assert isinstance(state["best_hits1"], float)
+    assert state["best_hits1"] >= 0.0
+    top = format_top(state)
+    assert "best H@1" in top
+    assert "hits@1" in top  # per-worker column header
+    assert "diverged:" in top
+    assert f"{len(diverged_payloads)} diverged" in top
 
 
 # ---------------------------------------------------------------------------

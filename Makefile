@@ -1,4 +1,4 @@
-.PHONY: install test test-fast verify bench serve-bench train-bench train-bench-smoke obs-smoke obs-top-smoke perf-gate perf-gate-smoke quality-smoke faults-smoke sweep-smoke tables examples all
+.PHONY: install test test-fast verify bench serve-bench train-bench train-bench-smoke obs-smoke obs-top-smoke perf-gate perf-gate-smoke quality-smoke faults-smoke robustness-smoke sweep-smoke tables examples all
 
 install:
 	pip install -e . --no-build-isolation
@@ -83,6 +83,13 @@ quality-smoke:
 # site, then resume, asserting bit-identical training (docs/robustness.md)
 faults-smoke:
 	PYTHONPATH=src python -m pytest -q tests/test_faults.py tests/test_crash_replay.py
+
+# data-level robustness gate (<10s): corrupt the smoke pair with 20%
+# dangling entities, train the literal approach, calibrate abstention
+# and require dangling-detection F1 >= 0.5 with matchable Hits@1 within
+# 5% of the no-abstention baseline (docs/robustness.md)
+robustness-smoke:
+	PYTHONPATH=src python -m repro.cli robustness --check
 
 # toy 2-approach x 2-dataset sweep through the parallel orchestrator
 # (docs/orchestration.md): runs with jobs=2, then reruns serially to

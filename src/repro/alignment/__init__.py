@@ -4,7 +4,11 @@ from .blocking import HyperplaneLSH, blocked_greedy_alignment
 from .streaming import streaming_greedy_alignment, topk_similarity
 from .evaluate import (
     PRF,
+    DanglingMetrics,
     RankMetrics,
+    abstention_curve,
+    calibrate_abstention,
+    nil_aware_metrics,
     prf_metrics,
     rank_metrics,
     sample_candidate_indices,
@@ -12,6 +16,7 @@ from .evaluate import (
 )
 from .inference import (
     INFERENCE_STRATEGIES,
+    apply_abstention,
     greedy_alignment,
     heuristic_matching,
     hungarian_alignment,
@@ -25,15 +30,19 @@ from .metrics import (
     euclidean_similarity,
     manhattan_similarity,
     similarity_matrix,
+    top_scores,
 )
 
 __all__ = [
     "cosine_similarity", "euclidean_similarity", "manhattan_similarity",
-    "similarity_matrix", "csls", "METRICS",
+    "similarity_matrix", "csls", "METRICS", "top_scores",
     "greedy_alignment", "stable_marriage", "hungarian_alignment",
     "heuristic_matching", "infer_alignment", "INFERENCE_STRATEGIES",
+    "apply_abstention",
     "rank_metrics", "RankMetrics", "prf_metrics", "PRF",
     "sample_candidate_indices", "sampled_rank_metrics",
+    "DanglingMetrics", "nil_aware_metrics", "calibrate_abstention",
+    "abstention_curve",
     "HyperplaneLSH", "blocked_greedy_alignment",
     "topk_similarity", "streaming_greedy_alignment",
 ]

@@ -12,6 +12,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .metrics import top_scores
+
 __all__ = [
     "RankMetrics",
     "rank_metrics",
@@ -19,6 +21,10 @@ __all__ = [
     "sampled_rank_metrics",
     "prf_metrics",
     "PRF",
+    "DanglingMetrics",
+    "nil_aware_metrics",
+    "calibrate_abstention",
+    "abstention_curve",
 ]
 
 
@@ -138,7 +144,13 @@ def prf_metrics(
     predicted: set[tuple[str, str]] | list[tuple[str, str]],
     gold: set[tuple[str, str]] | list[tuple[str, str]],
 ) -> PRF:
-    """Set-based precision/recall/F1 (the conventional-systems protocol)."""
+    """Set-based precision/recall/F1 (the conventional-systems protocol).
+
+    Degenerate inputs are well-defined rather than division-by-zero:
+    an empty prediction set has precision 0.0, an empty (zero-positive)
+    gold set has recall 0.0, and F1 is 0.0 whenever both components
+    vanish.
+    """
     predicted_set = set(predicted)
     gold_set = set(gold)
     correct = len(predicted_set & gold_set)
@@ -155,3 +167,185 @@ def prf_metrics(
         n_predicted=len(predicted_set),
         n_gold=len(gold_set),
     )
+
+
+# ----------------------------------------------------------------------
+# NIL-aware evaluation (dangling entities; docs/robustness.md)
+# ----------------------------------------------------------------------
+
+#: Valid abstention signals: "threshold" abstains on a low top-1 score,
+#: "margin" on a low top-1/top-2 margin.
+ABSTENTION_METHODS = ("threshold", "margin")
+
+
+@dataclass(frozen=True)
+class DanglingMetrics:
+    """Quality of one abstention policy on a corrupted candidate set.
+
+    Dangling detection treats *abstained* as the positive class:
+    precision is the fraction of abstentions that were genuinely
+    dangling, recall the fraction of dangling sources detected.
+    ``hits1_matchable`` counts an abstained matchable source as a miss —
+    the cost of abstaining too eagerly — while ``mrr_matchable`` scores
+    the underlying ranking over the full candidate set, independent of
+    the abstention decision.
+    """
+
+    method: str
+    threshold: float
+    precision: float
+    recall: float
+    f1: float
+    hits1_matchable: float
+    mrr_matchable: float
+    abstained: int
+    n_dangling: int
+    n_matchable: int
+
+    def __str__(self) -> str:
+        return (
+            f"dangling P={self.precision:.3f} R={self.recall:.3f} "
+            f"F1={self.f1:.3f} H@1(match)={self.hits1_matchable:.3f} "
+            f"MRR(match)={self.mrr_matchable:.3f} "
+            f"({self.method}@{self.threshold:.4f}, "
+            f"abstained={self.abstained}/{self.n_dangling}+{self.n_matchable})"
+        )
+
+
+def _abstention_signal(similarity: np.ndarray, method: str) -> np.ndarray:
+    if method not in ABSTENTION_METHODS:
+        raise ValueError(
+            f"unknown abstention method {method!r}; "
+            f"choose from {ABSTENTION_METHODS}"
+        )
+    best, margin = top_scores(similarity)
+    return best if method == "threshold" else margin
+
+
+def nil_aware_metrics(
+    similarity: np.ndarray,
+    gold: np.ndarray,
+    method: str = "threshold",
+    threshold: float = 0.0,
+) -> DanglingMetrics:
+    """Score an abstention policy against NIL ground truth.
+
+    ``gold[i]`` is the column index of source row ``i``'s counterpart,
+    or ``-1`` when the source is dangling (has no counterpart among the
+    candidates).  A source *abstains* when its signal — top-1 score for
+    ``method="threshold"``, top-1/top-2 margin for ``method="margin"`` —
+    falls below ``threshold``.
+    """
+    gold = np.asarray(gold, dtype=np.int64)
+    if similarity.shape[0] != gold.shape[0]:
+        raise ValueError(
+            f"{similarity.shape[0]} rows but {gold.shape[0]} gold labels"
+        )
+    signal = _abstention_signal(similarity, method)
+    abstain = signal < threshold
+    dangling = gold < 0
+    matchable = ~dangling
+
+    true_pos = int((abstain & dangling).sum())
+    n_abstained = int(abstain.sum())
+    n_dangling = int(dangling.sum())
+    precision = true_pos / n_abstained if n_abstained else 0.0
+    recall = true_pos / n_dangling if n_dangling else 0.0
+    f1 = (2.0 * precision * recall / (precision + recall)
+          if precision + recall else 0.0)
+
+    n_matchable = int(matchable.sum())
+    if n_matchable and similarity.shape[1]:
+        rows = np.where(matchable)[0]
+        predicted = similarity[rows].argmax(axis=1)
+        correct = (predicted == gold[rows]) & ~abstain[rows]
+        hits1 = float(correct.mean())
+        gold_scores = similarity[rows, gold[rows]]
+        ranks = 1 + (similarity[rows] > gold_scores[:, None]).sum(axis=1)
+        mrr = float((1.0 / ranks).mean())
+    else:
+        hits1 = 0.0
+        mrr = 0.0
+
+    return DanglingMetrics(
+        method=method,
+        threshold=float(threshold),
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        hits1_matchable=hits1,
+        mrr_matchable=mrr,
+        abstained=n_abstained,
+        n_dangling=n_dangling,
+        n_matchable=n_matchable,
+    )
+
+
+def calibrate_abstention(
+    similarity: np.ndarray,
+    gold: np.ndarray,
+    method: str = "threshold",
+    fallback_quantile: float = 0.05,
+) -> float:
+    """Pick the abstention threshold maximizing dangling-detection F1.
+
+    Sweeps the midpoints between consecutive observed signal values and
+    returns the F1-maximizing threshold (ties broken towards fewer
+    abstentions, protecting matchable Hits@1).  Without any dangling
+    example to calibrate on, falls back to the ``fallback_quantile`` of
+    the matchable signals — abstain on the least-confident tail.
+    """
+    gold = np.asarray(gold, dtype=np.int64)
+    signal = _abstention_signal(similarity, method)
+    dangling = gold < 0
+    if signal.size == 0:
+        return 0.0
+    if not dangling.any():
+        return float(np.quantile(signal, fallback_quantile))
+    order = np.sort(np.unique(signal))
+    if order.size == 1:
+        candidates = np.array([order[0]])
+    else:
+        candidates = np.concatenate(
+            ([order[0] - 1e-9], (order[:-1] + order[1:]) / 2.0,
+             [order[-1] + 1e-9])
+        )
+    # Vectorized sweep: F1 of "signal < t" against the dangling labels.
+    abstain = signal[None, :] < candidates[:, None]
+    true_pos = (abstain & dangling[None, :]).sum(axis=1).astype(float)
+    n_abstained = abstain.sum(axis=1).astype(float)
+    n_dangling = float(dangling.sum())
+    with np.errstate(divide="ignore", invalid="ignore"):
+        precision = np.where(n_abstained > 0, true_pos / n_abstained, 0.0)
+        recall = true_pos / n_dangling
+        denominator = precision + recall
+        f1 = np.where(denominator > 0, 2 * precision * recall / denominator, 0.0)
+    best = f1.max()
+    # argmax over the lowest-threshold maximizer = fewest abstentions.
+    return float(candidates[int(np.argmax(f1 >= best - 1e-12))])
+
+
+def abstention_curve(
+    similarity: np.ndarray,
+    gold: np.ndarray,
+    method: str = "threshold",
+    thresholds: list[float] | np.ndarray | None = None,
+    n_points: int = 9,
+) -> list[DanglingMetrics]:
+    """NIL metrics along a threshold sweep (for reports and the CLI).
+
+    Default thresholds are evenly-spaced quantiles of the observed
+    signal, so the curve covers the abstain-nothing..abstain-most range
+    whatever the score scale.
+    """
+    if thresholds is None:
+        signal = _abstention_signal(similarity, method)
+        if signal.size == 0:
+            thresholds = [0.0]
+        else:
+            quantiles = np.linspace(0.0, 0.9, n_points)
+            thresholds = np.unique(np.quantile(signal, quantiles))
+    return [
+        nil_aware_metrics(similarity, gold, method=method, threshold=float(t))
+        for t in thresholds
+    ]

@@ -6,6 +6,12 @@ Given a source-by-target similarity matrix, produce a predicted alignment:
 * **stable marriage** — the Gale-Shapley strategy evaluated in Table 6;
 * **Kuhn-Munkres** (Hungarian) — the collective O(N^3) strategy, solved
   with :func:`scipy.optimize.linear_sum_assignment`.
+
+Every strategy can additionally *abstain*: with ``min_score`` /
+``min_margin`` set, low-confidence sources are mapped to ``-1`` (NIL)
+instead of being forced onto their least-bad candidate — the correct
+behaviour on corrupted datasets where some entities genuinely have no
+counterpart (docs/robustness.md, "Data-level robustness").
 """
 
 from __future__ import annotations
@@ -13,31 +19,73 @@ from __future__ import annotations
 import numpy as np
 from scipy.optimize import linear_sum_assignment
 
+from .metrics import top_scores
+
 __all__ = [
     "greedy_alignment",
     "stable_marriage",
     "hungarian_alignment",
     "heuristic_matching",
+    "apply_abstention",
     "INFERENCE_STRATEGIES",
     "infer_alignment",
 ]
 
 
-def greedy_alignment(similarity: np.ndarray) -> np.ndarray:
+def apply_abstention(
+    similarity: np.ndarray,
+    assignment: np.ndarray,
+    min_score: float | None = None,
+    min_margin: float | None = None,
+) -> np.ndarray:
+    """Map low-confidence assignments to ``-1`` (NIL).
+
+    A source abstains when its *assigned* similarity falls below
+    ``min_score`` or its row's top-1/top-2 margin falls below
+    ``min_margin``.  With both thresholds ``None`` the assignment is
+    returned unchanged.
+    """
+    if min_score is None and min_margin is None:
+        return assignment
+    result = np.asarray(assignment, dtype=np.int64).copy()
+    assigned = result >= 0
+    if min_score is not None:
+        rows = np.where(assigned)[0]
+        scores = similarity[rows, result[rows]]
+        result[rows[scores < min_score]] = -1
+        assigned = result >= 0
+    if min_margin is not None:
+        _, margins = top_scores(similarity)
+        result[assigned & (margins < min_margin)] = -1
+    return result
+
+
+def greedy_alignment(
+    similarity: np.ndarray,
+    min_score: float | None = None,
+    min_margin: float | None = None,
+) -> np.ndarray:
     """For each source row, the index of its most similar target.
 
     Several sources may pick the same target (the 1-to-1 violations the
-    hubness analysis of Figure 10 counts).
+    hubness analysis of Figure 10 counts).  With ``min_score`` /
+    ``min_margin`` set, low-confidence sources abstain to ``-1`` (NIL).
     """
-    return similarity.argmax(axis=1)
+    return apply_abstention(
+        similarity, similarity.argmax(axis=1), min_score, min_margin
+    )
 
 
-def stable_marriage(similarity: np.ndarray) -> np.ndarray:
+def stable_marriage(
+    similarity: np.ndarray,
+    min_score: float | None = None,
+    min_margin: float | None = None,
+) -> np.ndarray:
     """Gale-Shapley stable matching; sources propose, targets accept/reject.
 
     Returns, per source row, the matched target index, or -1 for sources
     left unmatched (only possible when there are more sources than
-    targets).
+    targets) or abstaining under ``min_score`` / ``min_margin``.
     """
     n_source, n_target = similarity.shape
     # Preference lists: targets in decreasing similarity per source.
@@ -62,7 +110,7 @@ def stable_marriage(similarity: np.ndarray) -> np.ndarray:
                 match_of_source[holder] = -1
                 free.append(holder)
                 break
-    return match_of_source
+    return apply_abstention(similarity, match_of_source, min_score, min_margin)
 
 
 def heuristic_matching(similarity: np.ndarray) -> np.ndarray:
@@ -116,12 +164,21 @@ INFERENCE_STRATEGIES = {
 }
 
 
-def infer_alignment(similarity: np.ndarray, strategy: str = "greedy") -> np.ndarray:
-    """Run a named inference strategy on a similarity matrix."""
+def infer_alignment(
+    similarity: np.ndarray,
+    strategy: str = "greedy",
+    min_score: float | None = None,
+    min_margin: float | None = None,
+) -> np.ndarray:
+    """Run a named inference strategy on a similarity matrix.
+
+    ``min_score`` / ``min_margin`` enable abstention for *any* strategy:
+    low-confidence sources come back as ``-1`` (NIL).
+    """
     try:
         func = INFERENCE_STRATEGIES[strategy]
     except KeyError:
         raise KeyError(
             f"unknown strategy {strategy!r}; choose from {sorted(INFERENCE_STRATEGIES)}"
         ) from None
-    return func(similarity)
+    return apply_abstention(similarity, func(similarity), min_score, min_margin)

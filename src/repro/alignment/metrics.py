@@ -17,6 +17,7 @@ __all__ = [
     "similarity_matrix",
     "csls",
     "METRICS",
+    "top_scores",
 ]
 
 
@@ -69,6 +70,26 @@ def similarity_matrix(
             f"unknown metric {metric!r}; choose from {sorted(METRICS)}"
         ) from None
     return func(source, target)
+
+
+def top_scores(similarity: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row abstention signals: best score and top-1/top-2 margin.
+
+    The two confidence signals the NIL-aware evaluation and the serving
+    layer abstain on: a low best score means *nothing* looks like a
+    counterpart; a low margin means the ranking cannot distinguish the
+    top candidates.  With a single candidate column the margin is
+    ``+inf`` (no competitor), so margin-based abstention never fires.
+    """
+    n_rows, n_cols = similarity.shape
+    if n_cols == 0:
+        return np.zeros(n_rows), np.zeros(n_rows)
+    if n_cols == 1:
+        best = similarity[:, 0].astype(float)
+        return best, np.full(n_rows, np.inf)
+    part = np.partition(similarity, -2, axis=1)[:, -2:]
+    best = part[:, 1].astype(float)
+    return best, best - part[:, 0]
 
 
 def csls(similarity: np.ndarray, k: int = 10) -> np.ndarray:

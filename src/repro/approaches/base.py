@@ -20,7 +20,12 @@ import numpy as np
 
 from ..alignment import csls as csls_rescale
 from ..alignment import infer_alignment, rank_metrics, similarity_matrix
-from ..alignment.evaluate import RankMetrics
+from ..alignment.evaluate import (
+    DanglingMetrics,
+    RankMetrics,
+    calibrate_abstention,
+    nil_aware_metrics,
+)
 from ..autodiff.sparse import SparseGrad
 from ..faults import fault_point
 from ..kg import AlignmentSplit, EntityIndex, KGPair
@@ -583,3 +588,67 @@ class EmbeddingApproach:
             raise ValueError("candidates must be 'test' or 'all'")
         similarity = self.similarity_between(sources, targets, metric, csls_k)
         return rank_metrics(similarity, gold, hits_at=hits_at)
+
+    # ------------------------------------------------------------------
+    # NIL-aware evaluation (dangling entities; docs/robustness.md)
+    # ------------------------------------------------------------------
+    def nil_similarity(
+        self,
+        pairs: list[tuple[str, str]],
+        dangling: list[str],
+        metric: str | None = None,
+        csls_k: int = 0,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Similarity + NIL gold labels over the *full* KG2 candidate set.
+
+        Rows are the matchable sources of ``pairs`` followed by the
+        ``dangling`` sources (KG1 entities with no counterpart); columns
+        are every KG2 entity.  ``gold[i]`` is the counterpart's column,
+        or ``-1`` for dangling rows — the inputs
+        :func:`repro.alignment.evaluate.nil_aware_metrics` expects.
+        """
+        if self.pair is None:
+            raise RuntimeError("fit() must run before nil_similarity()")
+        sources = [a for a, _ in pairs] + list(dangling)
+        targets = sorted(self.pair.kg2.entities)
+        index = {entity: i for i, entity in enumerate(targets)}
+        gold = np.array(
+            [index[b] for _, b in pairs] + [-1] * len(dangling),
+            dtype=np.int64,
+        )
+        similarity = self.similarity_between(sources, targets, metric, csls_k)
+        return similarity, gold
+
+    def calibrate_abstention(
+        self,
+        pairs: list[tuple[str, str]],
+        dangling: list[str],
+        method: str = "threshold",
+        metric: str | None = None,
+        csls_k: int = 0,
+    ) -> float:
+        """F1-maximizing abstention threshold on a calibration split."""
+        similarity, gold = self.nil_similarity(pairs, dangling, metric, csls_k)
+        return calibrate_abstention(similarity, gold, method=method)
+
+    def evaluate_dangling(
+        self,
+        pairs: list[tuple[str, str]],
+        dangling: list[str],
+        method: str = "threshold",
+        threshold: float | None = None,
+        metric: str | None = None,
+        csls_k: int = 0,
+    ) -> DanglingMetrics:
+        """NIL-aware metrics on held-out matchable + dangling sources.
+
+        With ``threshold=None`` the threshold is calibrated in-sample —
+        fine for smoke checks; proper evaluation calibrates on a
+        disjoint split via :meth:`calibrate_abstention` first.
+        """
+        similarity, gold = self.nil_similarity(pairs, dangling, metric, csls_k)
+        if threshold is None:
+            threshold = calibrate_abstention(similarity, gold, method=method)
+        return nil_aware_metrics(
+            similarity, gold, method=method, threshold=threshold
+        )

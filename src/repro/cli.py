@@ -44,6 +44,14 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=0)
     generate.add_argument("--method", choices=["ids", "ras", "prs", "direct"],
                           default="ids")
+    generate.add_argument("--dangling-rate", type=float, default=0.0,
+                          help="fraction of aligned entities made dangling "
+                               "(counterpart removed; docs/robustness.md)")
+    generate.add_argument("--link-noise-rate", type=float, default=0.0,
+                          help="fraction of alignment links rewired to a "
+                               "wrong target")
+    generate.add_argument("--attr-missing-rate", type=float, default=0.0,
+                          help="fraction of attribute triples dropped")
     generate.add_argument("--out", type=Path, required=True,
                           help="output directory (OpenEA layout)")
 
@@ -135,6 +143,13 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--cache-size", type=int, default=1024)
     query.add_argument("--recall-sample", type=int, default=0,
                        help="estimate recall@k vs exact on N sampled queries")
+    query.add_argument("--abstain-threshold", type=float, default=None,
+                       help="abstain when the top-1 score falls below this "
+                            "(default: the store's calibrated threshold, "
+                            "if persisted)")
+    query.add_argument("--abstain-margin", type=float, default=None,
+                       help="abstain when the top-1/top-2 margin falls "
+                            "below this")
 
     sweep = commands.add_parser(
         "sweep",
@@ -277,6 +292,34 @@ def build_parser() -> argparse.ArgumentParser:
     quality_smoke.add_argument("--epochs", type=int, default=8)
     quality_smoke.add_argument("--seed", type=int, default=0)
 
+    robustness = commands.add_parser(
+        "robustness",
+        help="dangling-entity robustness check: corrupt a smoke pair, "
+             "train, calibrate abstention and report NIL-aware metrics",
+    )
+    robustness.add_argument("--size", type=int, default=400,
+                            help="entities in the smoke pair (default 400)")
+    robustness.add_argument("--seed", type=int, default=0)
+    robustness.add_argument("--dangling-rate", type=float, default=0.2)
+    robustness.add_argument("--link-noise-rate", type=float, default=0.0)
+    robustness.add_argument("--attr-missing-rate", type=float, default=0.0)
+    robustness.add_argument("--approach", default="IMUSE",
+                            help="literal-based approaches separate "
+                                 "dangling entities best (default IMUSE)")
+    robustness.add_argument("--dim", type=int, default=48)
+    robustness.add_argument("--epochs", type=int, default=30)
+    robustness.add_argument("--method", choices=["threshold", "margin"],
+                            default="threshold",
+                            help="abstention signal: top-1 score or "
+                                 "top1-top2 margin")
+    robustness.add_argument("--curve", type=int, default=0,
+                            help="also print an N-point abstention "
+                                 "threshold sweep")
+    robustness.add_argument("--check", action="store_true",
+                            help="exit 1 unless dangling F1 >= 0.5 and "
+                                 "matchable Hits@1 stays within 5%% of "
+                                 "the no-abstention baseline")
+
     obs_export = commands.add_parser(
         "obs-export",
         help="export recorded metrics in a standard format",
@@ -299,10 +342,19 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     pair = benchmark_pair(
         args.family, size=args.size, version=args.version,
         seed=args.seed, method=args.method,
+        dangling_rate=args.dangling_rate,
+        link_noise_rate=args.link_noise_rate,
+        attr_missing_rate=args.attr_missing_rate,
     )
     save_pair(pair, args.out)
     save_splits(pair.five_fold_splits(seed=args.seed), args.out)
     print(f"wrote {pair} to {args.out}")
+    corruption = pair.metadata.get("corruption")
+    if corruption:
+        print(f"  corruption: {len(corruption.get('dangling1', []))} "
+              f"dangling in KG1, {len(corruption.get('dangling2', []))} "
+              f"in KG2, {len(corruption.get('noisy_links', []))} noisy "
+              f"links (manifest in corruption.json)")
     report = validate_pair(pair)
     if not report.ok or report.warnings:
         print(report)
@@ -447,19 +499,27 @@ def _cmd_serve_query(args: argparse.Namespace) -> int:
         print(f"error: {args.store} is not a directory", file=sys.stderr)
         return 2
     store = EmbeddingStore(args.store)
+    abstain = {}
+    if args.abstain_threshold is not None:
+        abstain["abstain_threshold"] = args.abstain_threshold
+    if args.abstain_margin is not None:
+        abstain["abstain_margin"] = args.abstain_margin
     try:
         if args.index == "saved":
+            # from_store also picks up a threshold calibrated into the
+            # store's metadata; explicit flags win
             engine = QueryEngine.from_store(
                 store, version=args.store_version,
                 verify=not args.no_verify, k=args.k,
                 batch_size=args.batch_size, cache_size=args.cache_size,
+                **abstain,
             )
             stored = engine.stored
         else:
             stored = store.load(version=args.store_version)
             engine = QueryEngine(stored, index=args.index, k=args.k,
                                  batch_size=args.batch_size,
-                                 cache_size=args.cache_size)
+                                 cache_size=args.cache_size, **abstain)
     except StoreCorruption as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -490,7 +550,8 @@ def _cmd_serve_query(args: argparse.Namespace) -> int:
     for result in engine.query_batch(entities):
         ranked = ", ".join(f"{name}:{score:.3f}"
                            for name, score in result.neighbors[:args.k])
-        print(f"  {result.query} -> {result.best} "
+        answer = "NIL (abstained)" if result.abstained else result.best
+        print(f"  {result.query} -> {answer} "
               f"(confidence {result.confidence:.3f}) [{ranked}]")
     if args.recall_sample > 0:
         recall = recall_vs_exact(
@@ -512,7 +573,7 @@ def _cmd_serve_query(args: argparse.Namespace) -> int:
                 "cache_size": args.cache_size},
         scalars={key: summary[key]
                  for key in ("qps", "p50_ms", "p95_ms", "p99_ms",
-                             "cache_hit_rate", "degraded")},
+                             "cache_hit_rate", "degraded", "abstained")},
         registry=engine.metrics.registry,
     )
     return 0
@@ -910,6 +971,95 @@ def _cmd_quality_smoke(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    """Data-level robustness check (docs/robustness.md).
+
+    Corrupts the low-heterogeneity smoke pair with the requested rates,
+    trains one approach, calibrates an abstention threshold on half the
+    dangling entities + the validation pairs, and reports NIL-aware
+    metrics on the held-out half + the test pairs.  ``--check`` turns
+    the report into a gate: dangling-detection F1 must reach 0.5 and
+    abstention must cost at most 5% of the matchable Hits@1.
+    """
+    from .alignment.evaluate import abstention_curve
+    from .approaches import ApproachConfig, get_approach
+    from .datagen import smoke_pair
+    from .datagen.corruption import dangling_sources
+
+    pair = smoke_pair(
+        n_entities=args.size, seed=args.seed,
+        dangling_rate=args.dangling_rate,
+        link_noise_rate=args.link_noise_rate,
+        attr_missing_rate=args.attr_missing_rate,
+    )
+    split = pair.split(train_ratio=0.3, seed=args.seed)
+    approach = get_approach(
+        args.approach,
+        ApproachConfig(dim=args.dim, epochs=args.epochs, seed=args.seed,
+                       valid_every=0),
+    )
+    approach.fit(pair, split)
+    clean_hits1 = approach.evaluate(split.test, hits_at=(1,)).hits_at(1)
+    dangling = sorted(dangling_sources(pair))
+    print(f"{pair.name}: {len(pair.alignment)} matchable, "
+          f"{len(dangling)} dangling "
+          f"(rates d={args.dangling_rate:g} l={args.link_noise_rate:g} "
+          f"a={args.attr_missing_rate:g})")
+    print(f"clean hits@1 (no abstention): {clean_hits1:.3f}")
+    if not dangling:
+        print("no dangling entities (dangling rate 0); nothing to "
+              "calibrate against")
+        return 0
+    half = len(dangling) // 2
+    threshold = approach.calibrate_abstention(
+        split.valid, dangling[:half], method=args.method)
+    nil = approach.evaluate_dangling(
+        split.test, dangling[half:], method=args.method, threshold=threshold)
+    print(nil)
+    if args.curve > 0:
+        similarity, gold = approach.nil_similarity(split.test,
+                                                   dangling[half:])
+        print(f"{'threshold':>10s} {'P':>6s} {'R':>6s} {'F1':>6s} "
+              f"{'H@1m':>6s} {'abst':>5s}")
+        for point in abstention_curve(similarity, gold, method=args.method,
+                                      n_points=args.curve):
+            print(f"{point.threshold:10.4f} {point.precision:6.3f} "
+                  f"{point.recall:6.3f} {point.f1:6.3f} "
+                  f"{point.hits1_matchable:6.3f} {point.abstained:5d}")
+    # ledger the check (no-op unless REPRO_LEDGER_PATH is set) so
+    # `repro obs-gate` guards dangling_f1 like any quality metric
+    from .obs import record_run
+
+    record_run(
+        "robustness", f"robustness/{pair.name}",
+        config={"size": args.size, "seed": args.seed,
+                "approach": args.approach, "dim": args.dim,
+                "epochs": args.epochs, "method": args.method,
+                "dangling_rate": args.dangling_rate,
+                "link_noise_rate": args.link_noise_rate,
+                "attr_missing_rate": args.attr_missing_rate},
+        scalars={"hits_at_1": clean_hits1, "dangling_f1": nil.f1,
+                 "dangling_precision": nil.precision,
+                 "dangling_recall": nil.recall,
+                 "hits_at_1_matchable": nil.hits1_matchable,
+                 "mrr_matchable": nil.mrr_matchable},
+    )
+    if args.check:
+        floor = 0.95 * clean_hits1
+        failures = []
+        if nil.f1 < 0.5:
+            failures.append(f"dangling F1 {nil.f1:.3f} < 0.5")
+        if nil.hits1_matchable < floor:
+            failures.append(f"matchable hits@1 {nil.hits1_matchable:.3f} "
+                            f"< 0.95 x clean ({floor:.3f})")
+        if failures:
+            print("check FAILED: " + "; ".join(failures), file=sys.stderr)
+            return 1
+        print(f"check passed: F1={nil.f1:.3f} >= 0.5, matchable "
+              f"hits@1={nil.hits1_matchable:.3f} >= {floor:.3f}")
+    return 0
+
+
 def _cmd_obs_export(args: argparse.Namespace) -> int:
     from .obs import RunLedger, load_events_tolerant, render_prometheus
 
@@ -984,6 +1134,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_obs_quality(args)
     if args.command == "quality-smoke":
         return _cmd_quality_smoke(args)
+    if args.command == "robustness":
+        return _cmd_robustness(args)
     if args.command == "obs-export":
         return _cmd_obs_export(args)
     raise AssertionError(f"unhandled command {args.command!r}")

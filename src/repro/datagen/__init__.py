@@ -1,11 +1,21 @@
 """Synthetic source-KG generation (substitute for DBpedia/Wikidata/YAGO)."""
 
-from .families import FAMILIES, FamilySpec, benchmark_pair, source_pair
-from .views import ViewConfig, derive_view
+from .corruption import (
+    CORRUPTION_SCHEMA,
+    corrupt_pair,
+    dangling_sources,
+    drop_attributes,
+    remove_counterparts,
+    rewire_links,
+)
+from .families import FAMILIES, FamilySpec, benchmark_pair, smoke_pair, source_pair
+from .views import ViewConfig, derive_view, derive_view_with_manifest
 from .world import World, WorldConfig, generate_world, make_vocabulary
 
 __all__ = [
     "World", "WorldConfig", "generate_world", "make_vocabulary",
-    "ViewConfig", "derive_view",
-    "FAMILIES", "FamilySpec", "source_pair", "benchmark_pair",
+    "ViewConfig", "derive_view", "derive_view_with_manifest",
+    "FAMILIES", "FamilySpec", "source_pair", "benchmark_pair", "smoke_pair",
+    "CORRUPTION_SCHEMA", "corrupt_pair", "dangling_sources",
+    "drop_attributes", "remove_counterparts", "rewire_links",
 ]

@@ -1,0 +1,263 @@
+"""Seeded corruption of benchmark pairs.
+
+The clean datasets assume the best case the paper benchmarks: every test
+entity has exactly one counterpart and the reference alignment is
+noise-free.  Real settings (the BEAM-style noisy WDC-Wikidata matching,
+the "Critical Assessment" hard-candidate study in PAPERS.md) violate all
+of that.  This module implements the three corruption axes:
+
+* **dangling entities** — entities whose counterpart is removed from the
+  other KG, so they legitimately align to nothing (NIL);
+* **link noise** — ground-truth links rewired to degree-similar hard
+  negatives by swapping targets between sampled links;
+* **missing attributes** — attribute triples dropped outright.
+
+Every decision is seeded and recorded in a *corruption manifest* stored
+under ``pair.metadata["corruption"]`` and persisted as
+``corruption.json`` by :func:`repro.kg.io.save_pair` (atomic writers).
+The manifest is the ground truth the NIL-aware evaluation in
+:mod:`repro.alignment.evaluate` scores against.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from ..kg import KGPair, KnowledgeGraph
+
+__all__ = [
+    "CORRUPTION_SCHEMA",
+    "corrupt_pair",
+    "corruption_rng",
+    "rewire_links",
+    "remove_counterparts",
+    "drop_attributes",
+    "corruption_manifest",
+    "dangling_sources",
+]
+
+# Manifest wire-format version (bump on incompatible changes).
+CORRUPTION_SCHEMA = 1
+
+Link = tuple[str, str]
+
+
+def corruption_rng(seed: int, label: str) -> np.random.Generator:
+    """Stable, label-scoped RNG (builtin hash() is process-randomized)."""
+    digest = hashlib.sha256(f"{seed}:{label}".encode("utf-8")).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "big"))
+
+
+def remove_counterparts(
+    kg1: KnowledgeGraph,
+    kg2: KnowledgeGraph,
+    links: list[Link],
+    dangling1: set[str],
+    dangling2: set[str],
+) -> tuple[KnowledgeGraph, KnowledgeGraph, list[Link], list[str], list[str]]:
+    """Realise dangling markings: delete counterparts, drop their links.
+
+    ``dangling1`` names KG1 entities that should lose their KG2
+    counterpart (and vice versa).  When both sides of a link are marked,
+    KG1 wins: the entity stays in KG1 and the KG2 counterpart is
+    removed.  Deleting entities can orphan *other* aligned entities
+    (their only triples referenced the deleted one); those links are
+    cleaned up and the surviving side is recorded as dangling too, so
+    the manifest stays the exact ground truth.
+
+    Returns the filtered KGs, the surviving links, and the realised
+    dangling entity lists (sorted, present in their own KG).
+    """
+    removed1: set[str] = set()
+    removed2: set[str] = set()
+    kept_links: list[Link] = []
+    realised1: set[str] = set()
+    realised2: set[str] = set()
+    for a, b in links:
+        if a in dangling1:
+            removed2.add(b)
+            realised1.add(a)
+        elif b in dangling2:
+            removed1.add(a)
+            realised2.add(b)
+        else:
+            kept_links.append((a, b))
+    new_kg1 = kg1.filtered(kg1.entities - removed1) if removed1 else kg1
+    new_kg2 = kg2.filtered(kg2.entities - removed2) if removed2 else kg2
+    # Cleanup pass: links whose entity vanished as a side effect of the
+    # deletions above become dangling on the surviving side.
+    ents1, ents2 = new_kg1.entities, new_kg2.entities
+    final_links: list[Link] = []
+    for a, b in kept_links:
+        if a in ents1 and b in ents2:
+            final_links.append((a, b))
+        elif a in ents1:
+            realised1.add(a)
+        elif b in ents2:
+            realised2.add(b)
+    return (
+        new_kg1,
+        new_kg2,
+        final_links,
+        sorted(e for e in realised1 if e in ents1),
+        sorted(e for e in realised2 if e in ents2),
+    )
+
+
+def rewire_links(
+    links: list[Link],
+    rate: float,
+    rng: np.random.Generator,
+    degree_of=None,
+) -> tuple[list[Link], list[dict]]:
+    """Rewire ``round(rate * len(links))`` links to hard negatives.
+
+    Targets are *swapped between* the sampled links (a cyclic rotation),
+    so the rewired alignment stays 1-to-1 over the same entity sets.
+    With ``degree_of`` (a ``target -> degree`` callable) the sampled
+    links are ordered by target degree first, making each wrong target a
+    degree-similar hard negative rather than a random entity.
+
+    Returns the new link list (original order) and one record per
+    rewired link: ``{"source", "old_target", "new_target"}``.
+    """
+    n_noisy = int(round(rate * len(links)))
+    if n_noisy < 2:
+        return list(links), []
+    chosen = sorted(rng.choice(len(links), size=n_noisy, replace=False))
+    if degree_of is not None:
+        chosen.sort(key=lambda i: (degree_of(links[i][1]), i))
+    new_links = list(links)
+    records: list[dict] = []
+    targets = [links[i][1] for i in chosen]
+    rotated = targets[1:] + targets[:1]
+    for index, new_target in zip(chosen, rotated):
+        source, old_target = links[index]
+        new_links[index] = (source, new_target)
+        records.append({
+            "source": source,
+            "old_target": old_target,
+            "new_target": new_target,
+        })
+    records.sort(key=lambda r: r["source"])
+    return new_links, records
+
+
+def drop_attributes(
+    kg: KnowledgeGraph, rate: float, rng: np.random.Generator
+) -> tuple[KnowledgeGraph, int]:
+    """Drop each attribute triple with probability ``rate``."""
+    if rate <= 0.0 or not kg.attribute_triples:
+        return kg, 0
+    mask = rng.random(len(kg.attribute_triples)) >= rate
+    kept = [t for t, keep in zip(kg.attribute_triples, mask) if keep]
+    dropped = len(kg.attribute_triples) - len(kept)
+    if not dropped:
+        return kg, 0
+    return (
+        KnowledgeGraph(
+            relation_triples=list(kg.relation_triples),
+            attribute_triples=kept,
+            name=kg.name,
+        ),
+        dropped,
+    )
+
+
+def corruption_manifest(
+    dangling_rate: float,
+    link_noise_rate: float,
+    attr_missing_rate: float,
+    dangling1: list[str],
+    dangling2: list[str],
+    noisy_links: list[dict],
+    attrs_dropped1: int,
+    attrs_dropped2: int,
+) -> dict:
+    """Assemble the manifest stored under ``metadata["corruption"]``."""
+    return {
+        "schema": CORRUPTION_SCHEMA,
+        "rates": {
+            "dangling_rate": dangling_rate,
+            "link_noise_rate": link_noise_rate,
+            "attr_missing_rate": attr_missing_rate,
+        },
+        "dangling1": sorted(dangling1),
+        "dangling2": sorted(dangling2),
+        "noisy_links": noisy_links,
+        "attrs_dropped1": attrs_dropped1,
+        "attrs_dropped2": attrs_dropped2,
+    }
+
+
+def dangling_sources(pair: KGPair) -> list[str]:
+    """KG1 entities the manifest marks as dangling (NIL ground truth)."""
+    manifest = pair.metadata.get("corruption") or {}
+    return list(manifest.get("dangling1", []))
+
+
+def corrupt_pair(
+    pair: KGPair,
+    dangling_rate: float = 0.0,
+    link_noise_rate: float = 0.0,
+    attr_missing_rate: float = 0.0,
+    seed: int = 0,
+) -> KGPair:
+    """Apply the three corruption axes to a clean benchmark pair.
+
+    Applied *after* sampling so the realised rates hold on the final
+    dataset.  With all rates zero the pair is returned unchanged (same
+    object), keeping clean pipelines bit-identical.
+    """
+    for label, rate in (("dangling_rate", dangling_rate),
+                        ("link_noise_rate", link_noise_rate),
+                        ("attr_missing_rate", attr_missing_rate)):
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"{label} must be in [0, 1), got {rate}")
+    if not (dangling_rate or link_noise_rate or attr_missing_rate):
+        return pair
+
+    rng = corruption_rng(seed, f"corrupt:{pair.name}")
+    links = list(pair.alignment)
+
+    dangling1: set[str] = set()
+    dangling2: set[str] = set()
+    if dangling_rate > 0.0 and links:
+        n_dangling = int(round(dangling_rate * len(links)))
+        chosen = rng.choice(len(links), size=n_dangling, replace=False)
+        sides = rng.integers(0, 2, size=n_dangling)
+        for index, side in zip(sorted(int(i) for i in chosen), sides):
+            a, b = links[index]
+            if side == 0:
+                dangling1.add(a)
+            else:
+                dangling2.add(b)
+    kg1, kg2, links, realised1, realised2 = remove_counterparts(
+        pair.kg1, pair.kg2, links, dangling1, dangling2
+    )
+
+    noisy_records: list[dict] = []
+    if link_noise_rate > 0.0:
+        degrees2 = kg2.degrees()
+        links, noisy_records = rewire_links(
+            links, link_noise_rate, rng,
+            degree_of=lambda target: degrees2.get(target, 0),
+        )
+
+    kg1, attrs_dropped1 = drop_attributes(kg1, attr_missing_rate, rng)
+    kg2, attrs_dropped2 = drop_attributes(kg2, attr_missing_rate, rng)
+
+    manifest = corruption_manifest(
+        dangling_rate, link_noise_rate, attr_missing_rate,
+        realised1, realised2, noisy_records,
+        attrs_dropped1, attrs_dropped2,
+    )
+    return KGPair(
+        kg1=kg1,
+        kg2=kg2,
+        alignment=links,
+        name=pair.name,
+        metadata={**pair.metadata, "corruption": manifest},
+    )

@@ -28,7 +28,7 @@ from ..kg import KnowledgeGraph
 from ..text import pseudo_translate
 from .world import World
 
-__all__ = ["ViewConfig", "derive_view"]
+__all__ = ["ViewConfig", "derive_view", "derive_view_with_manifest"]
 
 
 @dataclass
@@ -55,6 +55,20 @@ class ViewConfig:
     # heterogeneity that defeats exact literal matching on D-W.
     numeric_style: str = "plain"
     seed: int = 0
+    # --- corruption knobs (docs/datasets.md, "Corruption knobs") ---
+    # All corruption decisions draw from a *separate* RNG stream, so any
+    # combination of zero rates leaves the view bit-identical to a clean
+    # run under the same seed (tested as a back-compat property).
+    # Fraction of this view's entities marked *dangling*: their
+    # counterpart is removed from the other view and the ground-truth
+    # link dropped, so they legitimately align to nothing (NIL).
+    dangling_rate: float = 0.0
+    # Fraction of ground-truth links rewired to degree-similar hard
+    # negatives (noisy reference alignment); applied at the pair level.
+    link_noise_rate: float = 0.0
+    # Severe attribute incompleteness: fraction of this view's surviving
+    # attribute triples dropped outright (a pure subset of the clean view).
+    attr_missing_rate: float = 0.0
 
 
 def _schema_names(
@@ -129,10 +143,28 @@ def derive_view(world: World, config: ViewConfig) -> tuple[KnowledgeGraph, dict[
     Returns the view and the mapping from world entity id to the view's
     opaque entity URI (used to build the reference alignment).
     """
+    kg, uri_of, _ = derive_view_with_manifest(world, config)
+    return kg, uri_of
+
+
+def derive_view_with_manifest(
+    world: World, config: ViewConfig
+) -> tuple[KnowledgeGraph, dict[int, str], dict]:
+    """:func:`derive_view` plus the view's corruption manifest.
+
+    The manifest records the *decisions* the corruption knobs made —
+    which world entities were marked dangling and how many attribute
+    triples were dropped — so the pair assembly step
+    (:func:`repro.datagen.families.source_pair`) can realise them and
+    persist the record (docs/datasets.md, "Corruption manifest").
+    """
     # Stable per-view seed: builtin hash() is randomized per process and
     # would make dataset generation non-reproducible across runs.
     digest = hashlib.sha256(f"{config.seed}:{config.name}".encode("utf-8")).digest()
     rng = np.random.default_rng(int.from_bytes(digest[:8], "big"))
+    # Corruption draws never touch the main stream: a clean run and a
+    # corrupted run produce the same base view under the same seed.
+    corrupt_rng = np.random.default_rng(int.from_bytes(digest[8:16], "big"))
 
     kept_entities = [
         entity for entity in range(world.n_entities)
@@ -147,6 +179,11 @@ def derive_view(world: World, config: ViewConfig) -> tuple[KnowledgeGraph, dict[
         for entity in kept_entities
     }
 
+    dangling: list[int] = []
+    if config.dangling_rate > 0.0 and kept_entities:
+        mask = corrupt_rng.random(len(kept_entities)) < config.dangling_rate
+        dangling = [e for e, hit in zip(kept_entities, mask) if hit]
+
     relation_names = _schema_names(world.relations, config, "rel", rng)
     attribute_names = _schema_names(world.attributes, config, "attr", rng)
 
@@ -159,6 +196,7 @@ def derive_view(world: World, config: ViewConfig) -> tuple[KnowledgeGraph, dict[
         relation_triples.append((uri_of[head], relation_names[relation], uri_of[tail]))
 
     attribute_triples = []
+    attrs_dropped = 0
     for entity, attribute, value in world.attribute_triples:
         if entity not in kept:
             continue
@@ -183,6 +221,12 @@ def derive_view(world: World, config: ViewConfig) -> tuple[KnowledgeGraph, dict[
                 for token in value.split(" ")
             )
         value = pseudo_translate(value, config.language)
+        # Missing-attribute corruption drops the fully-processed triple,
+        # so surviving triples are identical to the clean view's.
+        if (config.attr_missing_rate > 0.0
+                and corrupt_rng.random() < config.attr_missing_rate):
+            attrs_dropped += 1
+            continue
         attribute_triples.append((uri_of[entity], attribute_names[attribute], value))
 
     kg = KnowledgeGraph(
@@ -190,4 +234,13 @@ def derive_view(world: World, config: ViewConfig) -> tuple[KnowledgeGraph, dict[
         attribute_triples=attribute_triples,
         name=config.name,
     )
-    return kg, uri_of
+    manifest = {
+        "rates": {
+            "dangling_rate": config.dangling_rate,
+            "link_noise_rate": config.link_noise_rate,
+            "attr_missing_rate": config.attr_missing_rate,
+        },
+        "dangling": dangling,
+        "attrs_dropped": attrs_dropped,
+    }
+    return kg, uri_of, manifest

@@ -13,10 +13,11 @@ interchangeable with the published ones.
 
 from __future__ import annotations
 
+import json
 import warnings
 from pathlib import Path
 
-from ..faults import atomic_write_lines, fault_point
+from ..faults import atomic_write_json, atomic_write_lines, fault_point
 from .graph import KnowledgeGraph
 from .pair import AlignmentSplit, KGPair
 
@@ -37,6 +38,11 @@ PAIR_FILES = (
     "attr_triples_1", "attr_triples_2",
     "ent_links",
 )
+
+# Optional sidecar recording seeded corruption decisions (dangling
+# entities, rewired links, dropped attributes); see docs/datasets.md,
+# "Corruption manifest".  Absent for clean datasets.
+CORRUPTION_FILE = "corruption.json"
 
 
 def _read_rows(path: Path | str, n_fields: int,
@@ -105,13 +111,23 @@ def write_links(path: Path | str, links: list[tuple[str, str]]) -> None:
 
 
 def save_pair(pair: KGPair, directory: Path | str) -> None:
-    """Write a :class:`KGPair` in the OpenEA directory layout."""
+    """Write a :class:`KGPair` in the OpenEA directory layout.
+
+    Corrupted pairs additionally persist their corruption manifest as
+    ``corruption.json`` (atomically), so the NIL ground truth survives
+    the round trip through disk.
+    """
     directory = Path(directory)
     write_triples(directory / "rel_triples_1", pair.kg1.relation_triples)
     write_triples(directory / "rel_triples_2", pair.kg2.relation_triples)
     write_triples(directory / "attr_triples_1", pair.kg1.attribute_triples)
     write_triples(directory / "attr_triples_2", pair.kg2.attribute_triples)
     write_links(directory / "ent_links", pair.alignment)
+    manifest = pair.metadata.get("corruption")
+    if manifest:
+        atomic_write_json(
+            directory / CORRUPTION_FILE, manifest, site="io.write"
+        )
 
 
 def load_pair(directory: Path | str, name: str | None = None,
@@ -152,7 +168,18 @@ def load_pair(directory: Path | str, name: str | None = None,
         ),
         alignment=read_links(directory / "ent_links", max_bad_lines),
         name=name if name is not None else directory.name,
+        metadata=_load_corruption(directory),
     )
+
+
+def _load_corruption(directory: Path) -> dict:
+    """Restore the corruption manifest sidecar, if present."""
+    path = directory / CORRUPTION_FILE
+    if not path.is_file():
+        return {}
+    fault_point("io.read", path=path)
+    with open(path, encoding="utf-8") as handle:
+        return {"corruption": json.load(handle)}
 
 
 def save_splits(splits: list[AlignmentSplit], directory: Path | str) -> None:

@@ -105,6 +105,19 @@ DEFAULT_POLICIES: dict[str, MetricPolicy] = {
         # metrics because the probe subsample adds variance
         MetricPolicy("probe_hits_at_1", True, rel_threshold=0.15,
                      z_threshold=3.0),
+        # dangling-entity robustness (docs/robustness.md): NIL detection
+        # quality and the matchable metrics under abstention, recorded
+        # by corrupted-dataset CV runs and the robustness bench
+        MetricPolicy("dangling_f1", True, rel_threshold=0.10,
+                     z_threshold=3.0),
+        MetricPolicy("dangling_precision", True, rel_threshold=0.15,
+                     z_threshold=3.0),
+        MetricPolicy("dangling_recall", True, rel_threshold=0.15,
+                     z_threshold=3.0),
+        MetricPolicy("hits_at_1_matchable", True, rel_threshold=0.10,
+                     z_threshold=3.0),
+        MetricPolicy("mrr_matchable", True, rel_threshold=0.10,
+                     z_threshold=3.0),
         # serving
         MetricPolicy("qps", True, rel_threshold=0.20, bootstrap=True),
         MetricPolicy("p50_ms", False, rel_threshold=0.25, bootstrap=True),
@@ -120,6 +133,7 @@ DEFAULT_POLICIES: dict[str, MetricPolicy] = {
 #: quality regression fails CI exactly like a throughput regression.
 QUALITY_METRICS: tuple[str, ...] = (
     "hits_at_1", "hits_at_5", "hits_at_10", "mrr", "probe_hits_at_1",
+    "dangling_f1", "hits_at_1_matchable", "mrr_matchable",
 )
 
 

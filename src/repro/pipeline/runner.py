@@ -7,6 +7,7 @@ numbers Table 5 and Figure 8 report.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import time
 from dataclasses import dataclass, field
@@ -15,8 +16,9 @@ from typing import Callable
 
 import numpy as np
 
-from ..alignment.evaluate import RankMetrics
+from ..alignment.evaluate import DanglingMetrics, RankMetrics
 from ..approaches.base import EmbeddingApproach, TrainingLog
+from ..datagen.corruption import dangling_sources
 from ..approaches.checkpointing import _log_to_dict, restore_log_fields
 from ..faults import atomic_write_json, fault_point
 from ..fingerprint import config_fingerprint
@@ -43,6 +45,11 @@ class FoldResult:
     log: TrainingLog
     seconds: float
     approach: EmbeddingApproach | None
+    # NIL-aware evaluation (docs/robustness.md), present only when the
+    # dataset carries a corruption manifest with dangling entities: the
+    # fold calibrates an abstention threshold on half the dangling set +
+    # the validation pairs and scores the held-out half + the test pairs.
+    nil: DanglingMetrics | None = None
 
 
 @dataclass
@@ -143,7 +150,27 @@ def run_fold(
                               approach=approach)
         with span("evaluate", approach=approach.info.name):
             metrics = approach.evaluate(split.test, hits_at=hits_at)
-    return FoldResult(metrics=metrics, log=log, seconds=seconds, approach=approach)
+        nil = _nil_metrics(approach, pair, split)
+    return FoldResult(metrics=metrics, log=log, seconds=seconds,
+                      approach=approach, nil=nil)
+
+
+def _nil_metrics(approach: EmbeddingApproach, pair: KGPair,
+                 split: AlignmentSplit) -> DanglingMetrics | None:
+    """Dangling evaluation for corrupted datasets; None on clean ones.
+
+    The manifest's dangling list is split deterministically in half:
+    the first half plus the validation pairs calibrate the abstention
+    threshold, the second half plus the test pairs are scored — so the
+    reported F1 is out-of-sample for the dangling side too.
+    """
+    dangling = sorted(dangling_sources(pair))
+    if not dangling:
+        return None
+    half = len(dangling) // 2
+    threshold = approach.calibrate_abstention(split.valid, dangling[:half])
+    return approach.evaluate_dangling(split.test, dangling[half:],
+                                      threshold=threshold)
 
 
 def cross_validate(
@@ -245,7 +272,7 @@ def fold_to_dict(fold: FoldResult) -> dict:
     the sweep progress file and the orchestrator's worker->parent result
     queue all carry exactly this shape.
     """
-    return {
+    data = {
         "metrics": {
             "hits": {str(k): float(v) for k, v in fold.metrics.hits.items()},
             "mr": float(fold.metrics.mr),
@@ -258,6 +285,12 @@ def fold_to_dict(fold: FoldResult) -> dict:
         "peak_rss_bytes": int(fold.log.peak_rss_bytes),
         "log": _log_to_dict(fold.log),
     }
+    # only-when-present: clean-dataset folds keep the exact pre-NIL wire
+    # shape, so progress files and fingerprints from older runs compare
+    # equal
+    if fold.nil is not None:
+        data["nil"] = dataclasses.asdict(fold.nil)
+    return data
 
 
 def fold_from_dict(data: dict) -> FoldResult:
@@ -287,6 +320,7 @@ def fold_from_dict(data: dict) -> FoldResult:
         log=log,
         seconds=float(data["seconds"]),
         approach=None,
+        nil=(DanglingMetrics(**data["nil"]) if data.get("nil") else None),
     )
 
 
@@ -424,4 +458,17 @@ def _cv_scalars(result: CVResult, hits_at: tuple[int, ...],
               if fold.log.probes]
     if probed:
         scalars["probe_hits_at_1"] = float(np.mean(probed))
+    nils = [fold.nil for fold in result.folds if fold.nil is not None]
+    if nils:
+        # corrupted-dataset runs: dangling detection + the matchable
+        # metrics under abstention, so `repro obs-gate` guards
+        # robustness regressions alongside clean-quality ones
+        scalars["dangling_f1"] = float(np.mean([n.f1 for n in nils]))
+        scalars["dangling_precision"] = float(
+            np.mean([n.precision for n in nils]))
+        scalars["dangling_recall"] = float(np.mean([n.recall for n in nils]))
+        scalars["hits_at_1_matchable"] = float(
+            np.mean([n.hits1_matchable for n in nils]))
+        scalars["mrr_matchable"] = float(
+            np.mean([n.mrr_matchable for n in nils]))
     return scalars

@@ -11,7 +11,12 @@ names into ranked alignment candidates:
   touching the index;
 * **confidence** — each answer carries the top-1/top-2 cosine margin,
   the standard serving-time proxy for alignment certainty (a crowded
-  neighborhood means an unreliable match).
+  neighborhood means an unreliable match);
+* **abstention** — with ``abstain_threshold`` / ``abstain_margin`` set
+  (explicitly or calibrated into the store's metadata), low-confidence
+  answers come back with ``abstained=True`` and ``best is None``
+  instead of a forced wrong match — the serving face of the dangling-
+  entity evaluation (docs/robustness.md, "Data-level robustness").
 
 All traffic is accounted in a :class:`~repro.serve.metrics.ServingMetrics`.
 """
@@ -20,10 +25,11 @@ from __future__ import annotations
 
 import sys
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..faults import fault_point
 from .index import ANNIndex, ExactIndex, make_index
 from .metrics import ServingMetrics
 from .store import EmbeddingStore, StoredEmbeddings
@@ -38,10 +44,17 @@ class QueryResult:
     query: str
     neighbors: list[tuple[str, float]]  # (target entity, cosine score)
     confidence: float  # top-1 minus top-2 score; 0 when < 2 candidates
+    # True when the engine's abstention policy rejected the answer: the
+    # query entity is best treated as dangling (no counterpart).  The
+    # ranked neighbors stay available for inspection, but ``best``
+    # becomes None.
+    abstained: bool = field(default=False)
 
     @property
     def best(self) -> str | None:
-        return self.neighbors[0][0] if self.neighbors else None
+        if self.abstained or not self.neighbors:
+            return None
+        return self.neighbors[0][0]
 
 
 class QueryEngine:
@@ -50,12 +63,16 @@ class QueryEngine:
     def __init__(self, stored: StoredEmbeddings,
                  index: ANNIndex | str = "exact",
                  k: int = 10, batch_size: int = 256, cache_size: int = 1024,
-                 metrics: ServingMetrics | None = None, **index_params):
+                 metrics: ServingMetrics | None = None,
+                 abstain_threshold: float | None = None,
+                 abstain_margin: float | None = None, **index_params):
         if k <= 0:
             raise ValueError("k must be positive")
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         self.stored = stored
+        self.abstain_threshold = abstain_threshold
+        self.abstain_margin = abstain_margin
         self.index = (make_index(index, **index_params)
                       if isinstance(index, str) else index)
         self.k = k
@@ -83,9 +100,17 @@ class QueryEngine:
         is survivable: the engine logs it, bumps the ``serve.degraded``
         counter and falls back to exact search, which is slower but
         exactly right.
+
+        A calibrated abstention policy persisted in the store's
+        metadata (``abstain_threshold`` / ``abstain_margin``, e.g. from
+        :func:`repro.alignment.evaluate.calibrate_abstention`) is
+        honoured automatically; explicit keyword arguments win.
         """
         metrics = metrics or ServingMetrics()
         stored = store.load(version, verify=verify)
+        for knob in ("abstain_threshold", "abstain_margin"):
+            if knob not in kwargs and stored.metadata.get(knob) is not None:
+                kwargs[knob] = float(stored.metadata[knob])
         index: ANNIndex
         try:
             index = store.load_index(stored.version, stored=stored)
@@ -116,6 +141,12 @@ class QueryEngine:
                 k: int) -> tuple[np.ndarray, np.ndarray]:
         """``index.search`` with a one-shot exact fallback on failure."""
         try:
+            # Injectable query-time failure (docs/robustness.md): under
+            # ``inject("serve.query:...")`` the raise lands here, so the
+            # degrade-to-exact path below — including abstention on the
+            # degraded engine — is exercised exactly like a real index
+            # fault.
+            fault_point("serve.query")
             return self.index.search(vectors, k=k)
         except Exception as error:
             if isinstance(self.index, ExactIndex):
@@ -155,7 +186,11 @@ class QueryEngine:
                                          scores[out_row])
                 results[position] = result
                 self._cache_put((entities[position], k), result)
-        return [results[position] for position in range(len(entities))]
+        ordered = [results[position] for position in range(len(entities))]
+        abstained = sum(1 for result in ordered if result.abstained)
+        if abstained:
+            self.metrics.record_abstained(abstained)
+        return ordered
 
     def query_vectors(self, vectors: np.ndarray,
                       k: int | None = None) -> tuple[np.ndarray, np.ndarray]:
@@ -178,8 +213,15 @@ class QueryEngine:
             confidence = neighbors[0][1] - neighbors[1][1]
         else:
             confidence = 0.0
+        abstained = bool(neighbors) and (
+            (self.abstain_threshold is not None
+             and neighbors[0][1] < self.abstain_threshold)
+            or (self.abstain_margin is not None
+                and len(neighbors) >= 2
+                and confidence < self.abstain_margin)
+        )
         return QueryResult(query=entity, neighbors=neighbors,
-                           confidence=confidence)
+                           confidence=confidence, abstained=abstained)
 
     def _cache_get(self, key: tuple[str, int]) -> QueryResult | None:
         if self.cache_size <= 0:

@@ -93,6 +93,7 @@ class ServingMetrics:
         self._cache_misses = self.registry.counter("serve.cache_misses")
         self._busy = self.registry.counter("serve.busy_seconds")
         self._degraded = self.registry.counter("serve.degraded")
+        self._abstained = self.registry.counter("serve.abstained")
         self.degradation_reasons: list[str] = []
 
     # ------------------------------------------------------------------
@@ -115,6 +116,11 @@ class ServingMetrics:
         self._degraded.inc()
         self.degradation_reasons.append(str(reason))
 
+    def record_abstained(self, n: int = 1) -> None:
+        """Count served answers that abstained (below the confidence
+        threshold); cache hits count every time they are served."""
+        self._abstained.inc(int(n))
+
     # ------------------------------------------------------------------
     @property
     def queries(self) -> int:
@@ -135,6 +141,10 @@ class ServingMetrics:
     @property
     def degraded(self) -> int:
         return int(self._degraded.value)
+
+    @property
+    def abstained(self) -> int:
+        return int(self._abstained.value)
 
     @property
     def _busy_seconds(self) -> float:
@@ -159,6 +169,7 @@ class ServingMetrics:
             "cache_misses": self.cache_misses,
             "cache_hit_rate": self.cache_hit_rate,
             "degraded": self.degraded,
+            "abstained": self.abstained,
         }
         out.update(self.latency.summary())
         return out

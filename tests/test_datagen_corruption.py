@@ -1,0 +1,242 @@
+"""Corruption knobs: manifests, invariants, io, and bit-exact back-compat."""
+
+import hashlib
+import json
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    FamilySpec,
+    ViewConfig,
+    WorldConfig,
+    corrupt_pair,
+    dangling_sources,
+    derive_view,
+    drop_attributes,
+    generate_world,
+    remove_counterparts,
+    rewire_links,
+    smoke_pair,
+    source_pair,
+)
+from repro.datagen.corruption import corruption_rng
+from repro.datagen.families import benchmark_pair
+from repro.kg import load_pair, save_pair, validate_pair
+
+
+def _view_digest(kg, uri) -> str:
+    payload = {
+        "rel": kg.relation_triples,
+        "attr": kg.attribute_triples,
+        "uri": sorted(uri.items()),
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()).hexdigest()
+
+
+def _pair_digest(pair) -> str:
+    payload = {
+        "rel1": pair.kg1.relation_triples,
+        "rel2": pair.kg2.relation_triples,
+        "attr1": pair.kg1.attribute_triples,
+        "attr2": pair.kg2.attribute_triples,
+        "alignment": pair.alignment,
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# back-compat: zero rates are bit-identical to the pre-corruption output
+# ---------------------------------------------------------------------------
+def test_zero_rates_bit_identical_to_pre_corruption_output():
+    """Golden sha256 digests computed before the corruption knobs existed.
+
+    The corruption RNG is a separate stream (sha256-keyed off the view
+    seed), so adding the knobs must not perturb a single byte of clean
+    output.  If this test fails, every downstream golden number (splits,
+    trained metrics, sampled datasets) silently shifts too.
+    """
+    world = generate_world(WorldConfig(n_entities=200, seed=3))
+    kg, uri = derive_view(world, ViewConfig(name="X", seed=5))
+    assert _view_digest(kg, uri) == (
+        "2b705a2083f499e7d945543f9edb8fff615136f4c6ae752066159e927f7178c8")
+    kg, uri = derive_view(world, ViewConfig(
+        name="WD", schema_naming="numeric", value_noise=0.65, attr_keep=0.8,
+        drop_descriptions=True, numeric_style="decimal", seed=7))
+    assert _view_digest(kg, uri) == (
+        "16969bc13b4f784df0263de8b4b2939746734b349b47eb4f62e78dc54ff04dc0")
+    pair = source_pair("EN-FR", n_entities=120, seed=2)
+    assert _pair_digest(pair) == (
+        "5d9016307f5f024ee0380fb38dcc46c325497d1cf96fe8ca1ce9e38215085c64")
+    assert "corruption" not in pair.metadata
+
+
+def test_corrupt_pair_zero_rates_is_identity():
+    pair = source_pair("EN-FR", n_entities=100, seed=0)
+    assert corrupt_pair(pair) is pair
+    assert dangling_sources(pair) == []
+
+
+# ---------------------------------------------------------------------------
+# corrupt_pair: invariants + determinism
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def corrupted():
+    return benchmark_pair("EN-FR", size=150, seed=1, method="direct",
+                          dangling_rate=0.2, link_noise_rate=0.1,
+                          attr_missing_rate=0.3)
+
+
+def test_corrupt_pair_manifest_and_invariants(corrupted):
+    manifest = corrupted.metadata["corruption"]
+    assert manifest["schema"] == 1
+    assert manifest["rates"] == {"dangling_rate": 0.2,
+                                 "link_noise_rate": 0.1,
+                                 "attr_missing_rate": 0.3}
+    # dangling entities keep their structure but lose their counterpart:
+    # they stay in their own KG and leave the alignment entirely
+    sources = {a for a, _ in corrupted.alignment}
+    targets = {b for _, b in corrupted.alignment}
+    assert manifest["dangling1"] and manifest["dangling2"]
+    assert not set(manifest["dangling1"]) & sources
+    assert not set(manifest["dangling2"]) & targets
+    assert set(manifest["dangling1"]) <= set(corrupted.kg1.entities)
+    assert set(manifest["dangling2"]) <= set(corrupted.kg2.entities)
+    assert dangling_sources(corrupted) == list(manifest["dangling1"])
+    # noisy links point at a *wrong* existing entity, never the old one
+    assert manifest["noisy_links"]
+    rewired = {(r["source"], r["new_target"])
+               for r in manifest["noisy_links"]}
+    assert rewired <= set(corrupted.alignment)
+    for record in manifest["noisy_links"]:
+        assert record["new_target"] != record["old_target"]
+    assert manifest["attrs_dropped1"] > 0
+    # the corrupted pair still satisfies the benchmark invariants
+    assert validate_pair(corrupted).ok
+
+
+def test_corrupt_pair_alignment_stays_one_to_one(corrupted):
+    sources = [a for a, _ in corrupted.alignment]
+    targets = [b for _, b in corrupted.alignment]
+    assert len(sources) == len(set(sources))
+    assert len(targets) == len(set(targets))
+
+
+def test_corrupt_pair_deterministic(corrupted):
+    again = benchmark_pair("EN-FR", size=150, seed=1, method="direct",
+                           dangling_rate=0.2, link_noise_rate=0.1,
+                           attr_missing_rate=0.3)
+    assert _pair_digest(corrupted) == _pair_digest(again)
+    assert corrupted.metadata["corruption"] == again.metadata["corruption"]
+
+
+def test_corrupt_pair_validates_rates():
+    pair = source_pair("EN-FR", n_entities=100, seed=0)
+    with pytest.raises(ValueError, match="dangling_rate"):
+        corrupt_pair(pair, dangling_rate=1.0)
+    with pytest.raises(ValueError, match="link_noise_rate"):
+        corrupt_pair(pair, link_noise_rate=-0.1)
+
+
+# ---------------------------------------------------------------------------
+# the shared helpers
+# ---------------------------------------------------------------------------
+def test_rewire_links_preserves_one_to_one():
+    links = [(f"a{i}", f"b{i}") for i in range(40)]
+    rewired, records = rewire_links(links, 0.25, corruption_rng(0, "test"))
+    assert len(rewired) == len(links)
+    assert len(records) == round(0.25 * len(links))
+    assert len({b for _, b in rewired}) == len(rewired)
+    changed = {r["source"] for r in records}
+    for (a, b), (a2, b2) in zip(links, rewired):
+        assert a == a2
+        assert (b != b2) == (a in changed)
+
+
+def test_rewire_links_needs_two_candidates():
+    links = [("a0", "b0")]
+    rewired, records = rewire_links(links, 0.9, corruption_rng(0, "test"))
+    assert rewired == links and records == []
+
+
+def test_drop_attributes_rate_and_determinism():
+    pair = source_pair("EN-FR", n_entities=100, seed=0)
+    dropped, n = drop_attributes(pair.kg1, 0.5, corruption_rng(3, "attrs"))
+    dropped2, n2 = drop_attributes(pair.kg1, 0.5, corruption_rng(3, "attrs"))
+    total = len(pair.kg1.attribute_triples)
+    assert n == total - len(dropped.attribute_triples) == n2
+    assert dropped.attribute_triples == dropped2.attribute_triples
+    assert 0.3 < n / total < 0.7
+    assert dropped.relation_triples == pair.kg1.relation_triples
+
+
+def test_remove_counterparts_orphan_cleanup():
+    pair = source_pair("EN-FR", n_entities=100, seed=0)
+    links = pair.alignment
+    dangling1 = {links[0][0], links[1][0]}
+    dangling2 = {links[1][1], links[2][1]}  # links[1] hit from both sides
+    kg1, kg2, kept, realised1, realised2 = remove_counterparts(
+        pair.kg1, pair.kg2, links, dangling1, dangling2)
+    # marked links are gone; deletions may orphan a few more (those turn
+    # into extra dangling on the surviving side), never add any back
+    assert set(kept) <= set(links[3:])
+    # KG1 wins the overlap: links[1] realises as KG1-dangling
+    assert links[1][0] in realised1 and links[1][1] not in realised2
+    assert links[0][1] not in kg2.entities
+    assert links[2][0] not in kg1.entities
+    assert realised1 == sorted(realised1)
+
+
+# ---------------------------------------------------------------------------
+# view-level path + io round trip
+# ---------------------------------------------------------------------------
+def test_view_level_corruption_through_source_pair():
+    spec = FamilySpec(
+        name="T",
+        view1=ViewConfig(name="A", language="en", entity_prefix="a",
+                         dangling_rate=0.15, attr_missing_rate=0.4),
+        view2=ViewConfig(name="B", language="en", entity_prefix="b",
+                         dangling_rate=0.1, link_noise_rate=0.1),
+        description="view-level corruption test",
+    )
+    pair = source_pair(spec, n_entities=150, seed=4)
+    manifest = pair.metadata["corruption"]
+    assert manifest["dangling1"] and manifest["dangling2"]
+    assert manifest["noisy_links"]
+    assert manifest["attrs_dropped1"] > 0
+    assert validate_pair(pair).ok
+    # deterministic end to end
+    again = source_pair(spec, n_entities=150, seed=4)
+    assert _pair_digest(pair) == _pair_digest(again)
+
+
+def test_smoke_pair_carries_manifest_and_rates():
+    pair = smoke_pair(n_entities=150, seed=0, dangling_rate=0.2)
+    manifest = pair.metadata["corruption"]
+    n_dangling = len(manifest["dangling1"]) + len(manifest["dangling2"])
+    population = len(pair.alignment) + n_dangling
+    assert 0.1 < n_dangling / population < 0.3
+    assert "corruption" not in smoke_pair(n_entities=150, seed=0).metadata
+
+
+def test_corruption_manifest_io_round_trip(tmp_path, corrupted):
+    save_pair(corrupted, tmp_path / "ds")
+    assert (tmp_path / "ds" / "corruption.json").is_file()
+    loaded = load_pair(tmp_path / "ds")
+    assert loaded.metadata["corruption"] == corrupted.metadata["corruption"]
+    assert dangling_sources(loaded) == dangling_sources(corrupted)
+    # clean datasets write no sidecar and load with empty metadata
+    clean = source_pair("EN-FR", n_entities=100, seed=0)
+    save_pair(clean, tmp_path / "clean")
+    assert not (tmp_path / "clean" / "corruption.json").exists()
+    assert "corruption" not in load_pair(tmp_path / "clean").metadata
+
+
+def test_corruption_rng_streams_are_independent():
+    a = corruption_rng(0, "dangling")
+    b = corruption_rng(0, "link-noise")
+    assert not np.allclose(a.random(8), b.random(8))
+    c, d = corruption_rng(5, "x"), corruption_rng(5, "x")
+    assert np.array_equal(c.random(8), d.random(8))

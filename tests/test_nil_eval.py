@@ -1,0 +1,253 @@
+"""NIL-aware evaluation: abstention signals, calibration, matchers,
+the pipeline's per-fold dangling metrics, and the end-to-end smoke gate."""
+
+import numpy as np
+import pytest
+
+from repro.alignment import (
+    apply_abstention,
+    calibrate_abstention,
+    greedy_alignment,
+    infer_alignment,
+    nil_aware_metrics,
+    prf_metrics,
+    stable_marriage,
+    top_scores,
+)
+from repro.alignment.evaluate import DanglingMetrics, abstention_curve
+
+SIM = np.array([
+    [0.9, 0.1],   # matchable, gold 0, confident and right
+    [0.2, 0.1],   # dangling (gold -1), low everywhere
+    [0.8, 0.7],   # matchable, gold 1, confident but wrong + tight margin
+])
+GOLD = np.array([0, -1, 1])
+
+
+# ---------------------------------------------------------------------------
+# prf_metrics edge cases (division-by-zero guards)
+# ---------------------------------------------------------------------------
+def test_prf_empty_prediction_set_is_zero():
+    result = prf_metrics([], {("a", "b")})
+    assert (result.precision, result.recall, result.f1) == (0.0, 0.0, 0.0)
+
+
+def test_prf_zero_positive_gold_is_zero():
+    result = prf_metrics({("a", "b")}, [])
+    assert (result.precision, result.recall, result.f1) == (0.0, 0.0, 0.0)
+    both = prf_metrics([], [])
+    assert (both.precision, both.recall, both.f1) == (0.0, 0.0, 0.0)
+
+
+def test_prf_normal_case_unchanged():
+    result = prf_metrics({("a", "1"), ("b", "2")}, {("a", "1"), ("c", "3")})
+    assert result.precision == 0.5 and result.recall == 0.5
+    assert result.f1 == 0.5
+
+
+# ---------------------------------------------------------------------------
+# top_scores
+# ---------------------------------------------------------------------------
+def test_top_scores_best_and_margin():
+    best, margin = top_scores(SIM)
+    np.testing.assert_allclose(best, [0.9, 0.2, 0.8])
+    np.testing.assert_allclose(margin, [0.8, 0.1, 0.1], atol=1e-12)
+
+
+def test_top_scores_degenerate_shapes():
+    best, margin = top_scores(np.empty((3, 0)))
+    np.testing.assert_array_equal(best, np.zeros(3))
+    np.testing.assert_array_equal(margin, np.zeros(3))
+    best, margin = top_scores(np.array([[0.4], [0.6]]))
+    np.testing.assert_allclose(best, [0.4, 0.6])
+    assert np.all(np.isposinf(margin))  # a lone candidate is unambiguous
+
+
+# ---------------------------------------------------------------------------
+# nil_aware_metrics
+# ---------------------------------------------------------------------------
+def test_nil_aware_metrics_threshold_hand_computed():
+    nil = nil_aware_metrics(SIM, GOLD, method="threshold", threshold=0.5)
+    assert nil.abstained == 1 and nil.n_dangling == 1 and nil.n_matchable == 2
+    assert (nil.precision, nil.recall, nil.f1) == (1.0, 1.0, 1.0)
+    # row 0 hits, row 2 ranks its gold second
+    assert nil.hits1_matchable == 0.5
+    assert nil.mrr_matchable == pytest.approx((1.0 + 0.5) / 2)
+
+
+def test_nil_aware_metrics_margin_method():
+    nil = nil_aware_metrics(SIM, GOLD, method="margin", threshold=0.5)
+    # rows 1 and 2 both have margin 0.1 < 0.5: one true, one false positive
+    assert nil.abstained == 2
+    assert nil.precision == 0.5 and nil.recall == 1.0
+    assert nil.f1 == pytest.approx(2 / 3)
+    # the abstained matchable row counts as a Hits@1 miss
+    assert nil.hits1_matchable == 0.5
+
+
+def test_nil_aware_metrics_abstain_nothing_and_everything():
+    none = nil_aware_metrics(SIM, GOLD, threshold=-1.0)
+    assert none.abstained == 0 and none.f1 == 0.0
+    everything = nil_aware_metrics(SIM, GOLD, threshold=2.0)
+    assert everything.abstained == 3
+    assert everything.recall == 1.0
+    assert everything.hits1_matchable == 0.0
+    # ranking quality is independent of the abstention decision
+    assert everything.mrr_matchable == none.mrr_matchable
+
+
+def test_nil_aware_metrics_rejects_unknown_method():
+    with pytest.raises(ValueError, match="abstention method"):
+        nil_aware_metrics(SIM, GOLD, method="oracle")
+
+
+# ---------------------------------------------------------------------------
+# calibration
+# ---------------------------------------------------------------------------
+def test_calibrate_abstention_separable_signals():
+    similarity = np.diag([0.8, 0.9, 0.1, 0.2])
+    gold = np.array([0, 1, -1, -1])
+    threshold = calibrate_abstention(similarity, gold)
+    assert threshold == pytest.approx(0.5)  # lowest F1=1 threshold
+    assert nil_aware_metrics(similarity, gold, threshold=threshold).f1 == 1.0
+
+
+def test_calibrate_abstention_prefers_fewest_abstentions():
+    # both 0.5 and 0.85 reach F1=1? no — 0.85 over-abstains; but among
+    # equal-F1 candidates the lowest threshold must win, keeping the
+    # matchable Hits@1 cost minimal
+    similarity = np.diag([0.8, 0.9, 0.1])
+    gold = np.array([0, 1, -1])
+    threshold = calibrate_abstention(similarity, gold)
+    nil = nil_aware_metrics(similarity, gold, threshold=threshold)
+    assert nil.f1 == 1.0 and nil.hits1_matchable == 1.0
+
+
+def test_calibrate_abstention_fallback_without_dangling():
+    similarity = np.diag(np.linspace(0.1, 1.0, 10))
+    gold = np.arange(10)
+    threshold = calibrate_abstention(similarity, gold,
+                                     fallback_quantile=0.05)
+    assert threshold == pytest.approx(np.quantile(np.linspace(0.1, 1.0, 10),
+                                                  0.05))
+
+
+def test_abstention_curve_covers_the_tradeoff():
+    rng = np.random.default_rng(0)
+    similarity = rng.random((30, 8))
+    gold = np.array([-1] * 10 + list(rng.integers(0, 8, size=20)))
+    curve = abstention_curve(similarity, gold, n_points=5)
+    assert all(isinstance(point, DanglingMetrics) for point in curve)
+    abstained = [point.abstained for point in curve]
+    assert abstained == sorted(abstained)  # higher threshold, more NIL
+
+
+# ---------------------------------------------------------------------------
+# abstaining matchers
+# ---------------------------------------------------------------------------
+def test_apply_abstention_min_score_and_margin():
+    assignment = SIM.argmax(axis=1)
+    np.testing.assert_array_equal(
+        apply_abstention(SIM, assignment, min_score=0.5), [0, -1, 0])
+    np.testing.assert_array_equal(
+        apply_abstention(SIM, assignment, min_margin=0.5), [0, -1, -1])
+    assert apply_abstention(SIM, assignment) is assignment
+
+
+def test_greedy_and_stable_marriage_abstain():
+    np.testing.assert_array_equal(
+        greedy_alignment(SIM, min_score=0.5), [0, -1, 0])
+    matched = stable_marriage(SIM, min_score=0.5)
+    assert matched[1] == -1
+    assert set(matched[matched >= 0]) <= {0, 1}
+
+
+@pytest.mark.parametrize("strategy", ["greedy", "stable_marriage",
+                                      "heuristic", "hungarian"])
+def test_infer_alignment_abstention_composes_with_strategies(strategy):
+    square = np.array([
+        [0.9, 0.1, 0.0],
+        [0.2, 0.3, 0.25],  # the dangling row: best score below 0.5
+        [0.0, 0.1, 0.8],
+    ])
+    result = infer_alignment(square, strategy=strategy, min_score=0.5)
+    assert result[1] == -1  # abstains under every strategy
+    clean = infer_alignment(square, strategy=strategy)
+    assert np.all(clean >= 0)
+
+
+# ---------------------------------------------------------------------------
+# pipeline round trip (FoldResult.nil wire format)
+# ---------------------------------------------------------------------------
+def test_fold_nil_round_trip_and_clean_wire_shape():
+    from repro.alignment.evaluate import RankMetrics
+    from repro.approaches.base import TrainingLog
+    from repro.pipeline.runner import FoldResult, fold_from_dict, fold_to_dict
+
+    metrics = RankMetrics(hits={1: 0.5}, mr=2.0, mrr=0.6, n=10)
+    nil = DanglingMetrics(method="threshold", threshold=0.4, precision=0.8,
+                          recall=0.7, f1=0.75, hits1_matchable=0.9,
+                          mrr_matchable=0.95, abstained=7, n_dangling=8,
+                          n_matchable=20)
+    fold = FoldResult(metrics=metrics, log=TrainingLog(), seconds=1.0,
+                      approach=None, nil=nil)
+    data = fold_to_dict(fold)
+    assert fold_from_dict(data).nil == nil
+    # clean folds keep the pre-NIL wire shape byte for byte
+    clean = FoldResult(metrics=metrics, log=TrainingLog(), seconds=1.0,
+                       approach=None)
+    assert "nil" not in fold_to_dict(clean)
+    assert fold_from_dict(fold_to_dict(clean)).nil is None
+
+
+# ---------------------------------------------------------------------------
+# end to end: the acceptance gate of docs/robustness.md
+# ---------------------------------------------------------------------------
+@pytest.mark.slow
+def test_smoke_pair_dangling_detection_meets_the_gate():
+    """dangling_rate=0.2 on the smoke pair: threshold abstention reaches
+    F1 >= 0.5 while matchable Hits@1 stays within 5% of no-abstention."""
+    from repro.approaches import ApproachConfig, get_approach
+    from repro.datagen import smoke_pair
+    from repro.datagen.corruption import dangling_sources
+
+    pair = smoke_pair(n_entities=400, seed=0, dangling_rate=0.2)
+    split = pair.split(train_ratio=0.3, seed=0)
+    approach = get_approach(
+        "IMUSE", ApproachConfig(dim=48, epochs=30, seed=0, valid_every=0))
+    approach.fit(pair, split)
+    clean_hits1 = approach.evaluate(split.test, hits_at=(1,)).hits_at(1)
+    dangling = sorted(dangling_sources(pair))
+    half = len(dangling) // 2
+    threshold = approach.calibrate_abstention(split.valid, dangling[:half])
+    nil = approach.evaluate_dangling(split.test, dangling[half:],
+                                     threshold=threshold)
+    assert nil.f1 >= 0.5, str(nil)
+    assert nil.hits1_matchable >= 0.95 * clean_hits1, \
+        f"{nil.hits1_matchable:.3f} vs clean {clean_hits1:.3f}"
+    # full-candidate-set MRR is reported alongside
+    assert 0.0 < nil.mrr_matchable <= 1.0
+
+
+@pytest.mark.slow
+def test_cross_validate_records_nil_metrics_for_corrupted_pairs(tmp_path):
+    from repro.approaches import ApproachConfig, get_approach
+    from repro.datagen import smoke_pair
+    from repro.pipeline import cross_validate
+    from repro.pipeline.runner import _cv_scalars
+
+    pair = smoke_pair(n_entities=150, seed=0, dangling_rate=0.2)
+    factory = lambda: get_approach(
+        "IMUSE", ApproachConfig(dim=16, epochs=5, seed=0, valid_every=0))
+    result = cross_validate(factory, pair, n_folds=1, seed=0,
+                            checkpoint_dir=tmp_path / "ckpt")
+    assert result.folds[0].nil is not None
+    scalars = _cv_scalars(result, (1,))
+    for key in ("dangling_f1", "dangling_precision", "dangling_recall",
+                "hits_at_1_matchable", "mrr_matchable"):
+        assert 0.0 <= scalars[key] <= 1.0
+    # restored folds keep the nil metrics through the progress file
+    resumed = cross_validate(factory, pair, n_folds=1, seed=0,
+                             checkpoint_dir=tmp_path / "ckpt")
+    assert resumed.status == "resumed"
+    assert resumed.folds[0].nil == result.folds[0].nil

@@ -1,0 +1,106 @@
+"""Serving-time abstention: thresholds, store calibration, degradation."""
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.faults import InjectedFault
+from repro.pipeline.checkpoint import EmbeddingSnapshot
+from repro.serve import EmbeddingStore, QueryEngine, StoredEmbeddings
+
+
+@pytest.fixture(scope="module")
+def stored():
+    """Three sources with known cosine structure against 4 axis targets.
+
+    s0 matches t0 exactly (score 1.0, huge margin), s1 sits between t1
+    and t2 (top ~0.72, margin ~0.03 — confident enough but ambiguous),
+    s2 is equidistant from everything (top 0.5 — just weak).
+    """
+    target = np.eye(4)
+    source = np.stack([
+        [1.0, 0.0, 0.0, 0.0],
+        [0.0, 1.0, 0.96, 0.0],
+        [1.0, 1.0, 1.0, 1.0],
+    ])
+    return StoredEmbeddings(
+        version="v001",
+        sources=["s0", "s1", "s2"],
+        targets=[f"t{i}" for i in range(4)],
+        source_matrix=source,
+        target_matrix=target,
+    )
+
+
+def test_abstain_threshold_rejects_low_scores(stored):
+    engine = QueryEngine(stored, abstain_threshold=0.6)
+    confident, ambiguous, weak = engine.query_batch(["s0", "s1", "s2"])
+    assert not confident.abstained and confident.best == "t0"
+    assert not ambiguous.abstained  # top ~0.72 clears the threshold
+    assert weak.abstained and weak.best is None
+    assert weak.neighbors  # ranked candidates stay inspectable
+    assert engine.metrics.abstained == 1
+    assert engine.metrics.summary()["abstained"] == 1
+
+
+def test_abstain_margin_rejects_crowded_neighborhoods(stored):
+    engine = QueryEngine(stored, abstain_margin=0.1)
+    confident, ambiguous, _ = engine.query_batch(["s0", "s1", "s2"])
+    assert not confident.abstained
+    assert ambiguous.abstained  # t1 vs t2 margin ~0.03 < 0.1
+    assert ambiguous.best is None
+
+
+def test_no_policy_never_abstains(stored):
+    engine = QueryEngine(stored)
+    assert not any(r.abstained for r in engine.query_batch(["s0", "s1", "s2"]))
+    assert engine.metrics.abstained == 0
+
+
+def test_cache_hits_recount_abstentions(stored):
+    engine = QueryEngine(stored, abstain_threshold=0.6)
+    engine.query("s2")
+    engine.query("s2")  # served from cache, still an abstained answer
+    assert engine.metrics.cache_hits == 1
+    assert engine.metrics.abstained == 2
+
+
+def test_from_store_picks_up_calibrated_threshold(tmp_path, stored):
+    store = EmbeddingStore(tmp_path / "store")
+    store.save(
+        EmbeddingSnapshot(stored.sources, np.asarray(stored.source_matrix),
+                          stored.targets, np.asarray(stored.target_matrix)),
+        metadata={"abstain_threshold": 0.6},
+    )
+    engine = QueryEngine.from_store(store)
+    assert engine.abstain_threshold == 0.6
+    assert engine.query("s2").abstained
+    # explicit kwargs win over the persisted calibration
+    lenient = QueryEngine.from_store(store, abstain_threshold=0.01)
+    assert lenient.abstain_threshold == 0.01
+    assert not lenient.query("s2").abstained
+
+
+def test_abstention_survives_index_degradation(stored):
+    """inject('serve.query') fails the ANN search; the engine degrades
+    to exact and must make the same abstention decisions afterwards."""
+    engine = QueryEngine(stored, index="lsh", abstain_threshold=0.6,
+                         n_bits=4, seed=0)
+    with faults.inject("serve.query:nth=1:mode=raise"):
+        degraded = engine.query_batch(["s0", "s1", "s2"])
+    assert engine.degraded
+    reference = QueryEngine(stored, abstain_threshold=0.6) \
+        .query_batch(["s0", "s1", "s2"])
+    assert [r.abstained for r in degraded] == [r.abstained for r in reference]
+    assert [r.best for r in degraded] == [r.best for r in reference]
+    # deterministic: re-querying the degraded engine agrees with itself
+    engine._cache.clear()
+    again = engine.query_batch(["s0", "s1", "s2"])
+    assert [r.abstained for r in again] == [r.abstained for r in degraded]
+
+
+def test_exact_search_fault_is_fatal(stored):
+    engine = QueryEngine(stored)  # exact: nothing to degrade to
+    with faults.inject("serve.query:nth=1:mode=raise"):
+        with pytest.raises(InjectedFault):
+            engine.query("s0")
